@@ -1,0 +1,340 @@
+// Benchmarks regenerating every table and figure of the paper (§VII), one
+// per evaluation artifact, plus component micro-benchmarks for the
+// substrates. Absolute times are machine-dependent; the shapes (who wins,
+// how cost scales with paths and transmissions) are the reproduction
+// target. See EXPERIMENTS.md.
+package dmc_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dmc"
+	"dmc/internal/core"
+	"dmc/internal/dist"
+	"dmc/internal/experiments"
+	"dmc/internal/lp"
+	"dmc/internal/netsim"
+	"dmc/internal/sched"
+)
+
+// BenchmarkFigure1Scenario solves the motivating two-path example (§II).
+func BenchmarkFigure1Scenario(b *testing.B) {
+	n := dmc.NewNetwork(10*dmc.Mbps, time.Second,
+		dmc.Path{Bandwidth: 10 * dmc.Mbps, Delay: 600 * time.Millisecond, Loss: 0.10},
+		dmc.Path{Bandwidth: 1 * dmc.Mbps, Delay: 200 * time.Millisecond, Loss: 0},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := dmc.SolveQuality(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Quality < 1-1e-9 {
+			b.Fatal("wrong quality")
+		}
+	}
+}
+
+// BenchmarkTable4RateSweep regenerates Table IV (top) with the exact
+// rational solver.
+func BenchmarkTable4RateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4Top()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 15 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkTable4LifetimeSweep regenerates Table IV (bottom) with the
+// exact rational solver.
+func BenchmarkTable4LifetimeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4Bottom()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 22 {
+			b.Fatalf("row count %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2RateCurve regenerates the Figure 2 (top) series at
+// reduced message count (full runs live in cmd/reproduce).
+func BenchmarkFigure2RateCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure2Top(experiments.Figure2Config{Messages: 2000, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[8].MultipathSim*100, "quality@λ90_%")
+	}
+}
+
+// BenchmarkFigure2LifetimeCurve regenerates the Figure 2 (bottom) series
+// at reduced message count.
+func BenchmarkFigure2LifetimeCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure2Bottom(experiments.Figure2Config{Messages: 2000, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkExp2Timeouts optimizes the Eq. 34 retransmission timeouts for
+// the Table V network.
+func BenchmarkExp2Timeouts(b *testing.B) {
+	n := experiments.TableVNetwork()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		to, err := core.OptimalTimeouts(n, core.TimeoutOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := to.Get(0, 1); !ok {
+			b.Fatal("t12 undefined")
+		}
+	}
+}
+
+// BenchmarkExp2Simulation runs the Experiment 2 random-delay validation
+// at reduced message count.
+func BenchmarkExp2Simulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Experiment2(5000, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SimQuality()*100, "quality_%")
+	}
+}
+
+// BenchmarkFigure3Sensitivity sweeps one sensitivity panel at reduced
+// message count.
+func BenchmarkFigure3Sensitivity(b *testing.B) {
+	for _, param := range []experiments.Fig3Param{
+		experiments.Fig3Bandwidth, experiments.Fig3Delay, experiments.Fig3Loss,
+	} {
+		b.Run(param.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Figure3(param, experiments.Figure3Config{Messages: 500, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pts) == 0 {
+					b.Fatal("no points")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Solve is the Figure 4 measurement itself: LP solve time
+// by path count and transmissions (the paper's axes). One fixed random
+// instance per size; the per-op time is the figure's y-value.
+func BenchmarkFigure4Solve(b *testing.B) {
+	for _, m := range []int{2, 3} {
+		for _, paths := range []int{2, 4, 6, 8, 10} {
+			b.Run(fmt.Sprintf("paths=%d/trans=%d", paths, m), func(b *testing.B) {
+				rng := rand.New(rand.NewPCG(7, uint64(paths*10+m)))
+				n := experiments.RandomNetwork(rng, paths, m)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SolveQuality(n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolverAblation compares the float simplex against the exact
+// rational simplex (the CGAL analogue) on the Table IV instance.
+func BenchmarkSolverAblation(b *testing.B) {
+	b.Run("float", func(b *testing.B) {
+		n := experiments.TableIIINetwork(90, 800*time.Millisecond)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveQuality(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		n := experiments.ExactTableIVInstance()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveQualityExact(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSchedulerAblation times one packet-assignment decision per
+// selector (Algorithm 1 vs baselines).
+func BenchmarkSchedulerAblation(b *testing.B) {
+	n := experiments.TableIIINetwork(90, 800*time.Millisecond)
+	sol, err := core.SolveQuality(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("deficit", func(b *testing.B) {
+		sel, err := sched.NewDeficit(sol.X)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sel.Select()
+		}
+	})
+	b.Run("weighted-random", func(b *testing.B) {
+		sel, err := sched.NewWeightedRandom(sol.X, rand.New(rand.NewPCG(1, 2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sel.Select()
+		}
+	})
+	b.Run("round-robin", func(b *testing.B) {
+		sel, err := sched.NewRoundRobin(sol.X, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sel.Select()
+		}
+	})
+}
+
+// BenchmarkSessionExperiment1 runs a full Experiment 1 transport session
+// (2000 messages) per iteration.
+func BenchmarkSessionExperiment1(b *testing.B) {
+	n := experiments.TableIIINetwork(90, 800*time.Millisecond)
+	sol, err := core.SolveQuality(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := experiments.TrueTimeouts()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := dmc.NewSimulator(uint64(i + 1))
+		res, err := dmc.RunSession(sim, dmc.SessionConfig{
+			Solution:     sol,
+			Timeouts:     to,
+			TruePaths:    experiments.TrueLinks(),
+			MessageCount: 2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Generated != 2000 {
+			b.Fatal("workload wrong")
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw event throughput of the
+// discrete-event engine.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	b.ReportAllocs()
+	sim := netsim.NewSimulator(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+		if i%1024 == 1023 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}
+
+// BenchmarkLinkSend measures packet transfer through a bottleneck link.
+func BenchmarkLinkSend(b *testing.B) {
+	sim := netsim.NewSimulator(2)
+	sink := 0
+	link, err := netsim.NewLink(sim, netsim.LinkConfig{
+		Name:      "bench",
+		Bandwidth: 1e9,
+		Delay:     dist.Deterministic{D: time.Millisecond},
+		Loss:      0.01,
+	}, func(netsim.Packet) { sink++ })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		link.Send(netsim.Packet{Bytes: 1024})
+		if i%1024 == 1023 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}
+
+// BenchmarkGammaSample measures shifted-gamma variate generation
+// (Marsaglia–Tsang).
+func BenchmarkGammaSample(b *testing.B) {
+	g := dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < b.N; i++ {
+		_ = g.Sample(rng)
+	}
+}
+
+// BenchmarkGammaTail measures the upper incomplete gamma continued
+// fraction.
+func BenchmarkGammaTail(b *testing.B) {
+	g := dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		_ = g.Tail(500 * time.Millisecond)
+	}
+}
+
+// BenchmarkSumTail measures one convolution-based tail evaluation of a
+// delay sum — the inner loop of Eq. 34 timeout optimization.
+func BenchmarkSumTail(b *testing.B) {
+	g1 := dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+	g2 := dist.ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
+	s := dist.NewSumNodes(g1, g2, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Tail(615 * time.Millisecond)
+	}
+}
+
+// BenchmarkLPLargeAspect solves the characteristic LP shape of this
+// paper: many columns (combinations), few rows (paths + cost +
+// conservation).
+func BenchmarkLPLargeAspect(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, paths := range []int{5, 10} {
+		b.Run(fmt.Sprintf("paths=%d/trans=3", paths), func(b *testing.B) {
+			prob, err := experiments.LPBuildOnly(rng, paths, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.Solve(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const scenarioJSON = `{
+	"model": {
+		"rate_mbps": 90, "lifetime_ms": 800,
+		"paths": [
+			{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+			{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+		]
+	},
+	"true": {
+		"rate_mbps": 90, "lifetime_ms": 800,
+		"paths": [
+			{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 400, "loss": 0.2},
+			{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 100}
+		]
+	},
+	"messages": 3000,
+	"seed": 7
+}`
+
+func TestSimulationRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(scenarioJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"model quality (LP bound): 0.9333",
+		"simulated:",
+		"path 1:",
+		"path 2:",
+		"acks:",
+		"delivery latency: p50=",
+		"strategy",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimulationFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(scenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "simulated:") {
+		t.Error("file input failed")
+	}
+}
+
+func TestSimulationErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("nope"), &out); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := run([]string{"-in", "/missing.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := `{"model": {"rate_mbps": -1, "lifetime_ms": 1, "paths": [{"bandwidth_mbps": 1}]}}`
+	if err := run(nil, strings.NewReader(bad), &out); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

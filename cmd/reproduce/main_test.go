@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSelectedExperiments smoke-runs each experiment at tiny scale and
+// checks the CSV side outputs. Table IV runs exact and is asserted by the
+// experiments package's own tests; here we only cover the wiring.
+func TestRunSelectedExperiments(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	err := run([]string{
+		"-table4", "-exp2", "-fig4",
+		"-messages", "500",
+		"-fig4runs", "2",
+		"-csv", csvDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table4_top.csv", "table4_bottom.csv", "figure4.csv"} {
+		if _, err := os.Stat(filepath.Join(csvDir, f)); err != nil {
+			t.Errorf("missing CSV %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunFig2AndFig3Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps")
+	}
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	err := run([]string{
+		"-fig2", "-fig3", "-ablation",
+		"-messages", "400",
+		"-csv", csvDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"figure2_top.csv", "figure2_bottom.csv",
+		"figure3_bandwidth.csv", "figure3_delay.csv", "figure3_loss.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(csvDir, f)); err != nil {
+			t.Errorf("missing CSV %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunNoSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no selection accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Trading explores the cost dimension of the model (§IV, §VI-A) on a
+// market-data distribution scenario: three links with very different
+// economics, as in the paper's introduction — fiber (cheap, slower),
+// microwave (fast, lossy, expensive), and satellite (fast-ish, very
+// expensive).
+//
+// Two questions the model answers:
+//
+//  1. Given a cost budget µ, what is the best achievable in-time delivery
+//     (quality maximization, Eq. 10 with the cost row of Eq. 16)?
+//  2. Given a quality floor, what is the cheapest strategy (§VI-A)?
+//
+// Run with: go run ./examples/trading
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dmc"
+)
+
+func network() *dmc.Network {
+	// 40 Mbps of market data; updates stale after 25 ms.
+	return dmc.NewNetwork(40*dmc.Mbps, 25*time.Millisecond,
+		dmc.Path{
+			Name:      "fiber",
+			Bandwidth: 100 * dmc.Mbps,
+			Delay:     17 * time.Millisecond, // refraction-limited glass
+			Loss:      0.001,
+			Cost:      1, // baseline $/bit
+		},
+		dmc.Path{
+			Name:      "microwave",
+			Bandwidth: 30 * dmc.Mbps,
+			Delay:     11 * time.Millisecond, // near speed-of-light in air
+			Loss:      0.05,                  // rain fade
+			Cost:      8,
+		},
+		dmc.Path{
+			Name:      "satellite",
+			Bandwidth: 20 * dmc.Mbps,
+			Delay:     14 * time.Millisecond, // LEO constellation
+			Loss:      0.02,
+			Cost:      20,
+		},
+	)
+}
+
+func main() {
+	n := network()
+
+	fmt.Println("=== Quality vs cost budget (Eq. 10 with Eq. 16 cost row) ===")
+	fmt.Printf("%-14s %-10s %-10s\n", "budget (M$/s)", "quality", "spent")
+	for _, budget := range []float64{0, 40e6, 80e6, 160e6, 400e6, math.Inf(1)} {
+		nb := *n
+		nb.CostBound = budget
+		sol, err := dmc.SolveQuality(&nb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%.0f", budget/1e6)
+		if math.IsInf(budget, 1) {
+			label = "unlimited"
+		}
+		fmt.Printf("%-14s %8.2f%% %10.0f\n", label, sol.Quality*100, sol.Cost()/1e6)
+	}
+
+	fmt.Println("\n=== Cheapest strategy for a quality floor (§VI-A) ===")
+	fmt.Printf("%-10s %-12s %s\n", "floor", "cost (M$/s)", "strategy")
+	for _, floor := range []float64{0.90, 0.95, 0.99, 0.999} {
+		sol, err := dmc.SolveMinCost(n, floor)
+		if err != nil {
+			log.Fatalf("floor %v: %v", floor, err)
+		}
+		strategy := ""
+		for _, cs := range sol.ActiveCombos(1e-6) {
+			strategy += fmt.Sprintf("%s=%.3f ", cs.Combo, cs.Fraction)
+		}
+		fmt.Printf("%8.1f%% %12.1f %s\n", floor*100, sol.Cost()/1e6, strategy)
+	}
+
+	// An unreachable floor returns ErrInfeasible: with 25 ms of lifetime
+	// there is no time for any retransmission chain that fixes every loss.
+	fmt.Println("\n=== Feasibility edge ===")
+	if _, err := dmc.SolveMinCost(n, 1.0); err != nil {
+		fmt.Printf("quality 100.0%%: %v\n", err)
+	} else {
+		fmt.Println("quality 100.0%: feasible")
+	}
+
+	// Tighter deadline: microwave becomes the only option and the cost
+	// of quality rises steeply.
+	fmt.Println("\n=== Deadline pressure (δ = 12 ms: only microwave arrives) ===")
+	tight := network()
+	tight.Lifetime = 12 * time.Millisecond
+	for _, floor := range []float64{0.5, 0.7} {
+		sol, err := dmc.SolveMinCost(tight, floor)
+		if err != nil {
+			fmt.Printf("floor %.0f%%: %v\n", floor*100, err)
+			continue
+		}
+		fmt.Printf("floor %.0f%%: cost %.1f M$/s via", floor*100, sol.Cost()/1e6)
+		for _, cs := range sol.ActiveCombos(1e-6) {
+			fmt.Printf(" %s=%.3f", cs.Combo, cs.Fraction)
+		}
+		fmt.Println()
+	}
+}

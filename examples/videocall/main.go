@@ -1,0 +1,94 @@
+// Videocall models a laptop on a video call, connected simultaneously to
+// Wi-Fi and LTE — the paper's §II smartphone scenario with the §VI-B
+// random-delay extension.
+//
+// Delays follow shifted gamma distributions (the paper's model for
+// Internet paths, Eq. 31). The example optimizes the retransmission
+// timeouts t_{i,j} (Eq. 34), solves the random-delay LP, then validates
+// the strategy by running the full transport through the discrete-event
+// simulator and comparing measured quality against the model's
+// prediction.
+//
+// Run with: go run ./examples/videocall
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmc"
+)
+
+func main() {
+	// 8 Mbps of video with a 300 ms interactive budget.
+	network := dmc.NewNetwork(8*dmc.Mbps, 300*time.Millisecond,
+		dmc.Path{
+			Name:      "wifi",
+			Bandwidth: 12 * dmc.Mbps,
+			Loss:      0.08, // interference bursts
+			RandDelay: dmc.ShiftedGamma{Loc: 20 * time.Millisecond, Shape: 6, Scale: 5 * time.Millisecond},
+		},
+		dmc.Path{
+			Name:      "lte",
+			Bandwidth: 6 * dmc.Mbps,
+			Loss:      0.01,
+			RandDelay: dmc.ShiftedGamma{Loc: 45 * time.Millisecond, Shape: 8, Scale: 3 * time.Millisecond},
+		},
+	)
+
+	fmt.Println("Optimizing retransmission timeouts (Eq. 34)...")
+	timeouts, err := dmc.OptimalTimeouts(network, dmc.TimeoutOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"wifi", "lte"}
+	for i := range network.Paths {
+		for j := range network.Paths {
+			if t, ok := timeouts.Get(i, j); ok {
+				fmt.Printf("  sent on %-4s → retransmit on %-4s after %v\n",
+					names[i], names[j], t.Round(time.Millisecond))
+			} else {
+				fmt.Printf("  sent on %-4s → retransmission on %-4s can never meet the deadline\n",
+					names[i], names[j])
+			}
+		}
+	}
+
+	solution, err := dmc.SolveQualityRandom(network, timeouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nModel prediction: %.2f%% of frames arrive within %v\n",
+		solution.Quality*100, network.Lifetime)
+	for _, cs := range solution.ActiveCombos(1e-4) {
+		fmt.Printf("  %-6s share %5.1f%%  delivery prob %.3f\n", cs.Combo, cs.Fraction*100, cs.DeliveryProb)
+	}
+
+	// Validate against the simulator: ground truth = the same paths, with
+	// extra raw capacity so only the modeled allowance is consumed.
+	truth := dmc.LinksFromNetwork(network, 0)
+	for i := range truth {
+		truth[i].Bandwidth *= 4
+	}
+	sim := dmc.NewSimulator(2025)
+	result, err := dmc.RunSession(sim, dmc.SessionConfig{
+		Solution:     solution,
+		Timeouts:     timeouts,
+		TruePaths:    truth,
+		MessageCount: 50_000,
+		MessageBytes: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nSimulated 50,000 frames: %.2f%% in time (model predicted %.2f%%)\n",
+		result.Quality()*100, solution.Quality*100)
+	fmt.Printf("  retransmissions: %d, duplicates: %d, late: %d\n",
+		result.Retransmissions, result.Duplicates, result.DeliveredLate)
+	for i, st := range result.PathStats {
+		fmt.Printf("  %-4s accepted %6d packets, observed loss %.2f%%\n",
+			names[i], st.Accepted, st.LossRate()*100)
+	}
+}

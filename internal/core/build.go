@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"dmc/internal/lp"
+)
+
+// BuildLP constructs the standard-form linear program of Eq. 10 for the
+// deterministic-delay model: maximize pᵀx′ subject to bandwidth rows
+// (Eqs. 14–15), the cost row (Eq. 16), the conservation row Bx′ = 1
+// (Eq. 18), and x′ ≥ 0. Exposed for inspection and for the solver-ablation
+// benchmarks; most callers want SolveQuality.
+func BuildLP(n *Network) (*lp.Problem, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	return m.buildQualityLP(), nil
+}
+
+func (m *model) buildQualityLP() *lp.Problem {
+	obj := make([]float64, m.nVars)
+	shares := make([][]float64, m.nVars)
+	costs := make([]float64, m.nVars)
+	for l := 0; l < m.nVars; l++ {
+		c := m.combo(l)
+		obj[l] = m.deliveryProb(c)
+		shares[l] = m.sendShare(c)
+		costs[l] = m.comboCost(c)
+	}
+
+	p := lp.NewProblem(lp.Maximize, obj)
+	m.addCommonRowsWith(p, shares, costs)
+	return p
+}
+
+// SolveQuality solves the deterministic-delay quality maximization
+// (Eq. 10) and returns the optimal sending strategy. The problem is always
+// feasible — the blackhole path absorbs any excess traffic — so a
+// non-optimal status indicates an internal error.
+func SolveQuality(n *Network) (*Solution, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	prob := m.buildQualityLP()
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: quality LP unexpectedly %v", sol.Status)
+	}
+	return m.newSolution(prob, sol.X, sol.Objective), nil
+}
+
+// newSolution assembles the public Solution from a solved x′ vector.
+func (m *model) newSolution(prob *lp.Problem, x []float64, quality float64) *Solution {
+	s := &Solution{
+		Network:  m.net,
+		X:        x,
+		Quality:  clamp01(quality),
+		m:        m,
+		problem:  prob,
+		combos:   make([]Combo, m.nVars),
+		delivery: make([]float64, m.nVars),
+		shares:   make([][]float64, m.nVars),
+		costs:    make([]float64, m.nVars),
+	}
+	for l := 0; l < m.nVars; l++ {
+		c := m.combo(l)
+		s.combos[l] = c
+		s.delivery[l] = m.deliveryProb(c)
+		s.shares[l] = m.sendShare(c)
+		s.costs[l] = m.comboCost(c)
+	}
+	return s
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// QualityUpperBound returns the best achievable quality ignoring bandwidth
+// and cost limits: the delivery probability of the best feasible single
+// combination. Useful as a sanity bound in tests and reports.
+func QualityUpperBound(n *Network) (float64, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for l := 0; l < m.nVars; l++ {
+		if p := m.deliveryProb(m.combo(l)); p > best {
+			best = p
+		}
+	}
+	return best, nil
+}

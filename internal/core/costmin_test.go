@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// costedNetwork: a cheap lossy path and an expensive clean path.
+func costedNetwork() *Network {
+	return NewNetwork(10*Mbps, 800*time.Millisecond,
+		Path{Name: "cheap", Bandwidth: 50 * Mbps, Delay: 200 * time.Millisecond, Loss: 0.3, Cost: 1},
+		Path{Name: "pricey", Bandwidth: 50 * Mbps, Delay: 100 * time.Millisecond, Loss: 0, Cost: 10},
+	)
+}
+
+func TestSolveMinCostBasic(t *testing.T) {
+	n := costedNetwork()
+	// Quality 0.7 is achievable with the cheap path alone (no
+	// retransmission): cost = λ·1 per bit.
+	s, err := SolveMinCost(n, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality < 0.7-1e-9 {
+		t.Errorf("quality %v below floor 0.7", s.Quality)
+	}
+	if want := 10 * Mbps * 1.0; math.Abs(s.Cost()-want) > 1 {
+		t.Errorf("cost = %v, want %v (cheap path only)", s.Cost(), want)
+	}
+}
+
+func TestSolveMinCostQualityOne(t *testing.T) {
+	n := costedNetwork()
+	// Full quality requires covering the cheap path's losses. The cheapest
+	// perfect strategy retransmits cheap→pricey: cost λ(1 + 0.3·10) = 4λ,
+	// vs pricey-only 10λ; cheap→cheap also works (300+200+200 ≤ 800):
+	// cost λ(1+0.3) = 1.3λ but quality 1−0.09 = 0.91 < 1. With a third
+	// attempt unavailable (m=2), perfect quality needs cheap→pricey mixes
+	// or pricey alone. Expect cost 4λ.
+	s, err := SolveMinCost(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality < 1-1e-9 {
+		t.Fatalf("quality %v < 1", s.Quality)
+	}
+	if want := 4.0 * 10 * Mbps; math.Abs(s.Cost()-want) > 1 {
+		t.Errorf("cost = %v, want %v", s.Cost(), want)
+	}
+	if f := s.Fraction(Combo{1, 2}); math.Abs(f-1) > 1e-9 {
+		t.Errorf("x_{cheap,pricey} = %v, want 1", f)
+	}
+}
+
+func TestSolveMinCostZeroQuality(t *testing.T) {
+	// Quality floor 0: drop everything; cost 0.
+	s, err := SolveMinCost(costedNetwork(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != 0 {
+		t.Errorf("cost = %v, want 0", s.Cost())
+	}
+}
+
+func TestSolveMinCostInfeasible(t *testing.T) {
+	n := costedNetwork()
+	n.Rate = 200 * Mbps // quality 1 impossible: capacity 100 Mbps total
+	_, err := SolveMinCost(n, 1)
+	if err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error %v does not wrap ErrInfeasible", err)
+	}
+}
+
+func TestSolveMinCostArgErrors(t *testing.T) {
+	n := costedNetwork()
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := SolveMinCost(n, q); err == nil {
+			t.Errorf("quality %v accepted", q)
+		}
+	}
+	bad := *n
+	bad.Rate = 0
+	if _, err := SolveMinCost(&bad, 0.5); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+// TestCostQualityDuality: solving max-quality under budget µ and then
+// min-cost at that achieved quality must return cost ≤ µ.
+func TestCostQualityDuality(t *testing.T) {
+	n := costedNetwork()
+	for _, budget := range []float64{5 * Mbps, 20 * Mbps, 40 * Mbps} {
+		nb := *n
+		nb.CostBound = budget
+		qs, err := SolveQuality(&nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs.Cost() > budget*(1+1e-9) {
+			t.Errorf("budget %v: quality solve spent %v", budget, qs.Cost())
+		}
+		cs, err := SolveMinCost(n, qs.Quality)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Cost() > budget*(1+1e-6) {
+			t.Errorf("budget %v: min-cost %v exceeds budget for quality %v", budget, cs.Cost(), qs.Quality)
+		}
+		if cs.Quality < qs.Quality-1e-7 {
+			t.Errorf("budget %v: min-cost quality %v below target %v", budget, cs.Quality, qs.Quality)
+		}
+	}
+}
+
+// TestCostBoundLimitsQuality: a tighter budget can only reduce quality.
+func TestCostBoundLimitsQuality(t *testing.T) {
+	n := costedNetwork()
+	prev := -1.0
+	for _, budget := range []float64{0, 2 * Mbps, 5 * Mbps, 10 * Mbps, 40 * Mbps, math.Inf(1)} {
+		nb := *n
+		nb.CostBound = budget
+		s, err := SolveQuality(&nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Quality < prev-1e-9 {
+			t.Errorf("budget %v: quality %v decreased from %v", budget, s.Quality, prev)
+		}
+		prev = s.Quality
+	}
+	// Zero budget: only free paths (none here) → everything dropped.
+	nb := *n
+	nb.CostBound = 0
+	s, err := SolveQuality(&nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality != 0 {
+		t.Errorf("zero budget quality = %v, want 0", s.Quality)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dmc/internal/dist"
+	"dmc/internal/lp"
+)
+
+// ErrRandomNeedsTwoTransmissions is returned by SolveQualityRandom for
+// m ≠ 2: the paper's random-delay extension (Eqs. 27–30) is formulated for
+// one retransmission, and the timeout table t_{i,j} is pairwise.
+var ErrRandomNeedsTwoTransmissions = errors.New("core: random-delay model requires Transmissions == 2")
+
+// SolveQualityRandom solves the §VI-B random-delay model: path delays are
+// distributions (Path.RandDelay, falling back to a point mass at
+// Path.Delay), retransmissions fire at the given timeouts, and the LP
+// coefficients follow Eqs. 27–30:
+//
+//	P(retransᵢⱼ) = 1 − P(dᵢ + d_min ≤ t_{i,j})·(1−τᵢ)                 (27)
+//	p_l = P(dᵢ ≤ δ)(1−τᵢ) + P(retransᵢⱼ)·P(t_{i,j}+dⱼ ≤ δ)(1−τⱼ)      (28)
+//
+// with bandwidth (29) and cost (30) rows using P(retransᵢⱼ) in place of
+// τᵢ. Combinations whose first attempt is the blackhole deliver nothing
+// and are never retransmitted; combinations with an undefined timeout
+// cannot retransmit in time (their delivery reduces to the first attempt).
+func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	if m.m != 2 {
+		return nil, ErrRandomNeedsTwoTransmissions
+	}
+	toSize := 0
+	if to != nil {
+		toSize = len(to.T)
+	}
+	if toSize != len(n.Paths) {
+		return nil, fmt.Errorf("core: timeout table size %d, want %d", toSize, len(n.Paths))
+	}
+
+	coeff := m.randomCoefficients(to)
+
+	obj := make([]float64, m.nVars)
+	for l := range obj {
+		obj[l] = coeff.delivery[l]
+	}
+	p := lp.NewProblem(lp.Maximize, obj)
+	m.addCommonRowsWith(p, coeff.shares, coeff.costs)
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving random-delay LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: random-delay LP unexpectedly %v", sol.Status)
+	}
+
+	s := &Solution{
+		Network:  n,
+		X:        sol.X,
+		Quality:  clamp01(sol.Objective),
+		m:        m,
+		problem:  p,
+		combos:   make([]Combo, m.nVars),
+		delivery: coeff.delivery,
+		shares:   coeff.shares,
+		costs:    coeff.costs,
+	}
+	for l := 0; l < m.nVars; l++ {
+		s.combos[l] = m.combo(l)
+	}
+	return s, nil
+}
+
+// randomCoeffs holds per-combination LP coefficients under random delays.
+type randomCoeffs struct {
+	delivery []float64
+	shares   [][]float64
+	costs    []float64
+}
+
+// randomCoefficients evaluates Eqs. 27–30 for every combination.
+func (m *model) randomCoefficients(to *Timeouts) *randomCoeffs {
+	n := m.net
+	δ := n.Lifetime
+	ack := n.Paths[n.AckPathIndex()].delayDist()
+
+	// rtt[i] is the distribution of dᵢ + d_min for real path i (1-based
+	// model index i corresponds to Paths[i-1]).
+	rtt := make([]*dist.Sum, m.base)
+	for i := 1; i < m.base; i++ {
+		rtt[i] = dist.NewSum(n.Paths[i-1].delayDist(), ack)
+	}
+
+	out := &randomCoeffs{
+		delivery: make([]float64, m.nVars),
+		shares:   make([][]float64, m.nVars),
+		costs:    make([]float64, m.nVars),
+	}
+	for l := 0; l < m.nVars; l++ {
+		c := m.combo(l)
+		i, j := c[0], c[1]
+		share := make([]float64, m.base)
+		out.shares[l] = share
+
+		if m.isBlackhole(i) {
+			// Dropped on arrival at the sender: nothing delivered,
+			// nothing retransmitted, no cost.
+			share[0] = 1
+			continue
+		}
+
+		pi := n.Paths[i-1]
+		di := pi.delayDist()
+		firstInTime := di.CDF(δ)
+		delivery := firstInTime * (1 - pi.Loss)
+		share[i] += 1
+		cost := pi.Cost
+
+		// Retransmission leg.
+		var pRetrans, pRetransDeliver float64
+		if m.isBlackhole(j) {
+			// Drop after first failure; charge the blackhole nominally.
+			pRetrans = 1 - rtt[i].CDF(δ)*(1-pi.Loss)
+			share[0] += pRetrans
+		} else {
+			pj := n.Paths[j-1]
+			t, ok := to.Get(i-1, j-1)
+			if ok {
+				pRetrans = 1 - rtt[i].CDF(t)*(1-pi.Loss)
+				pRetransDeliver = pj.delayDist().CDF(δ-t) * (1 - pj.Loss)
+			} else {
+				// No timeout makes the retransmission useful; a sender
+				// assigned this combination would wait until the deadline
+				// and the retransmission never delivers in time. The
+				// column is dominated by (i, blackhole).
+				pRetrans = 1 - rtt[i].CDF(δ)*(1-pi.Loss)
+			}
+			share[j] += pRetrans
+			cost += pRetrans * pj.Cost
+		}
+		out.delivery[l] = clamp01(delivery + pRetrans*pRetransDeliver)
+		out.costs[l] = cost
+	}
+	return out
+}
+
+// addCommonRowsWith is addCommonRows for externally supplied coefficient
+// tables (the random model's Eq. 29/30 rows).
+func (m *model) addCommonRowsWith(p *lp.Problem, shares [][]float64, costs []float64) {
+	λ := m.net.Rate
+	for i := 1; i < m.base; i++ {
+		row := make([]float64, m.nVars)
+		for l := 0; l < m.nVars; l++ {
+			row[l] = λ * shares[l][i]
+		}
+		p.AddNamedConstraint(fmt.Sprintf("bandwidth[%d]", i-1), row, lp.LE, m.paths[i].Bandwidth)
+	}
+	if !math.IsInf(m.net.CostBound, 1) {
+		row := make([]float64, m.nVars)
+		for l := 0; l < m.nVars; l++ {
+			row[l] = λ * costs[l]
+		}
+		p.AddNamedConstraint("cost", row, lp.LE, m.net.CostBound)
+	}
+	ones := make([]float64, m.nVars)
+	for l := range ones {
+		ones[l] = 1
+	}
+	p.AddNamedConstraint("conservation", ones, lp.EQ, 1)
+}

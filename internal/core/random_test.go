@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dmc/internal/dist"
+)
+
+// tableVNetwork is Experiment 2's scenario: Table V shifted-gamma delays,
+// λ = 90 Mbps, δ = 750 ms.
+func tableVNetwork() *Network {
+	return NewNetwork(90*Mbps, 750*time.Millisecond,
+		Path{Name: "path1", Bandwidth: 80 * Mbps, Loss: 0.2,
+			RandDelay: dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}},
+		Path{Name: "path2", Bandwidth: 20 * Mbps, Loss: 0,
+			RandDelay: dist.ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}},
+	)
+}
+
+// TestExperiment2Timeouts reproduces Eq. 35: t₁,₁ undefined, t₁,₂ ≈ 615 ms,
+// t₂,₁ ≈ 252 ms, and t₂,₂ on the broad optimal plateau (the paper itself
+// notes the optimum is not unique and picks 323 ms; any point of the
+// plateau achieves the same product to ~1e-30).
+func TestExperiment2Timeouts(t *testing.T) {
+	n := tableVNetwork()
+	to, err := OptimalTimeouts(n, TimeoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := to.Get(0, 0); ok {
+		t.Error("t[1,1] should be undefined (750 ms lifetime admits no useful same-path retransmission)")
+	}
+	assertWindow := func(i, j int, lo, hi time.Duration) {
+		t.Helper()
+		v, ok := to.Get(i, j)
+		if !ok {
+			t.Errorf("t[%d,%d] undefined, want defined", i+1, j+1)
+			return
+		}
+		if v < lo || v > hi {
+			t.Errorf("t[%d,%d] = %v, want in [%v, %v]", i+1, j+1, v, lo, hi)
+		}
+	}
+	// Paper values: 615, 252, 323 ms.
+	assertWindow(0, 1, 605*time.Millisecond, 625*time.Millisecond)
+	assertWindow(1, 0, 243*time.Millisecond, 262*time.Millisecond)
+	assertWindow(1, 1, 250*time.Millisecond, 620*time.Millisecond) // plateau
+	if to.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// TestExperiment2ModelQuality reproduces the §VII Experiment 2 result: the
+// random-delay model predicts Q ≈ 93.3 % (the paper's simulation delivered
+// 93,332 of 100,000 packets).
+func TestExperiment2ModelQuality(t *testing.T) {
+	n := tableVNetwork()
+	to, err := OptimalTimeouts(n, TimeoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveQualityRandom(n, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality < 0.930 || s.Quality > 0.9334 {
+		t.Errorf("quality = %v, want ≈ 0.9333 (93.3%%)", s.Quality)
+	}
+	// The strategy must saturate path 2's 20 Mbps and respect path 1's cap.
+	if r := s.SentRate(1); r > 20*Mbps*(1+1e-6) {
+		t.Errorf("SentRate(path2) = %v exceeds 20 Mbps", r)
+	}
+	if r := s.SentRate(0); r > 80*Mbps*(1+1e-6) {
+		t.Errorf("SentRate(path1) = %v exceeds 80 Mbps", r)
+	}
+}
+
+// TestRandomMatchesDeterministicLimit: with near-degenerate delay spreads
+// the random model converges to the deterministic one.
+func TestRandomMatchesDeterministicLimit(t *testing.T) {
+	// Tight gammas around 450/150 ms (σ ≈ 0.2/0.1 ms).
+	rnd := NewNetwork(90*Mbps, 800*time.Millisecond,
+		Path{Bandwidth: 80 * Mbps, Loss: 0.2,
+			RandDelay: dist.ShiftedGamma{Loc: 449 * time.Millisecond, Shape: 100, Scale: 10 * time.Microsecond}},
+		Path{Bandwidth: 20 * Mbps, Loss: 0,
+			RandDelay: dist.ShiftedGamma{Loc: 149 * time.Millisecond, Shape: 100, Scale: 10 * time.Microsecond}},
+	)
+	to, err := OptimalTimeouts(rnd, TimeoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveQualityRandom(rnd, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := solveQ(t, tableIIINetwork(90, 800*time.Millisecond))
+	if math.Abs(s.Quality-det.Quality) > 0.002 {
+		t.Errorf("random-limit quality %v vs deterministic %v", s.Quality, det.Quality)
+	}
+}
+
+func TestSolveQualityRandomErrors(t *testing.T) {
+	n := tableVNetwork()
+	to, err := OptimalTimeouts(n, TimeoutOptions{GridStep: 20 * time.Millisecond, RefineLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := *n
+	n3.Transmissions = 3
+	if _, err := SolveQualityRandom(&n3, to); err != ErrRandomNeedsTwoTransmissions {
+		t.Errorf("want ErrRandomNeedsTwoTransmissions, got %v", err)
+	}
+	if _, err := SolveQualityRandom(n, nil); err == nil {
+		t.Error("nil timeouts accepted")
+	}
+	if _, err := SolveQualityRandom(n, NewTimeouts(5)); err == nil {
+		t.Error("mis-sized timeouts accepted")
+	}
+	bad := *n
+	bad.Rate = -1
+	if _, err := SolveQualityRandom(&bad, to); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+// TestRandomBlackholeSemantics: traffic assigned to blackhole-first
+// combinations delivers nothing and never consumes real bandwidth.
+func TestRandomBlackholeSemantics(t *testing.T) {
+	// Overloaded: 200 Mbps into 80+20; a large share must be dropped.
+	n := tableVNetwork()
+	n.Rate = 200 * Mbps
+	to, err := OptimalTimeouts(n, TimeoutOptions{GridStep: 10 * time.Millisecond, RefineLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveQualityRandom(n, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality > 0.55 {
+		t.Errorf("quality %v too high for a 2:1 overload", s.Quality)
+	}
+	for i, p := range n.Paths {
+		if s.SentRate(i) > p.Bandwidth*(1+1e-6) {
+			t.Errorf("path %d oversubscribed: %v", i, s.SentRate(i))
+		}
+	}
+}
+
+// TestUndefinedTimeoutDominated: combinations with undefined timeouts are
+// never preferred over their drop-after-first counterparts.
+func TestUndefinedTimeoutDominated(t *testing.T) {
+	// Lifetime so short that no retransmission can help on (1, ·).
+	n := tableVNetwork()
+	n.Lifetime = 460 * time.Millisecond
+	to, err := OptimalTimeouts(n, TimeoutOptions{GridStep: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := to.Get(0, 0); ok {
+		t.Error("t[1,1] should be undefined at δ=460ms")
+	}
+	if _, ok := to.Get(0, 1); ok {
+		t.Error("t[1,2] should be undefined at δ=460ms (d1+dmin alone exceeds δ)")
+	}
+	s, err := SolveQualityRandom(n, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal strategy: path 2 saturated (2/9 of traffic, p≈1), the rest
+	// on path 1 first-attempt-only (conservation caps it at 7/9):
+	// Q = 7/9·0.8·P(d1 ≤ 460ms) + 2/9.
+	pd1 := n.Paths[0].RandDelay.CDF(460 * time.Millisecond)
+	want := 7.0/9*0.8*pd1 + 2.0/9
+	if math.Abs(s.Quality-want) > 0.005 {
+		t.Errorf("quality = %v, want ≈ %v", s.Quality, want)
+	}
+}
+
+func TestDeterministicTimeoutsTable(t *testing.T) {
+	n := tableIIINetwork(90, 800*time.Millisecond)
+	to, err := DeterministicTimeouts(n, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := to.Get(0, 1); !ok || v != 700*time.Millisecond {
+		t.Errorf("t[1,2] = %v, want 700ms", v)
+	}
+	if v, ok := to.Get(1, 0); !ok || v != 400*time.Millisecond {
+		t.Errorf("t[2,1] = %v, want 400ms", v)
+	}
+	if _, ok := to.Get(5, 0); ok {
+		t.Error("out-of-range Get should fail")
+	}
+	if _, err := DeterministicTimeouts(&Network{}, 0); err == nil {
+		t.Error("invalid network accepted")
+	}
+	to.Set(0, 0, -1)
+	if _, ok := to.Get(0, 0); ok {
+		t.Error("Set(-1) should mark undefined")
+	}
+}
+
+// TestOptimalTimeoutsDeterministicDelays: with point-mass delays the
+// optimum must fall in [dᵢ+d_min, δ−dⱼ] whenever that window exists.
+func TestOptimalTimeoutsDeterministicDelays(t *testing.T) {
+	n := tableIIINetwork(90, 800*time.Millisecond)
+	to, err := OptimalTimeouts(n, TimeoutOptions{GridStep: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t₁,₂: ack returns at 600 ms; retransmission must leave by 650 ms.
+	v, ok := to.Get(0, 1)
+	if !ok || v < 600*time.Millisecond || v > 650*time.Millisecond {
+		t.Errorf("t[1,2] = %v (ok=%v), want within [600ms, 650ms]", v, ok)
+	}
+	// t₁,₁: 450+150+450 = 1050 > 800 → undefined.
+	if _, ok := to.Get(0, 0); ok {
+		t.Error("t[1,1] should be undefined")
+	}
+}

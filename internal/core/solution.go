@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dmc/internal/lp"
+)
+
+// Solution is an optimal sending strategy: the fraction of application
+// traffic to assign to every path combination, plus the resulting metrics
+// of Table II.
+type Solution struct {
+	// Network is the scenario the solution was computed for.
+	Network *Network
+	// X is the optimal traffic split x′ over path combinations, indexed by
+	// the Eq. 13 combination index (little-endian path digits, blackhole =
+	// digit 0). It sums to 1.
+	X []float64
+	// Quality is Q = G/λ ∈ [0, 1] (Eq. 6): the fraction of application
+	// data expected to arrive before its deadline.
+	Quality float64
+
+	m        *model
+	problem  *lp.Problem
+	combos   []Combo
+	delivery []float64
+	shares   [][]float64
+	costs    []float64
+}
+
+// ComboShare pairs a path combination with its traffic share.
+type ComboShare struct {
+	// Combo is the path combination (model indexing: 0 = blackhole).
+	Combo Combo
+	// Fraction is the share of application traffic assigned to it.
+	Fraction float64
+	// DeliveryProb is p_l, its in-time delivery probability.
+	DeliveryProb float64
+}
+
+// Fraction returns the traffic share of a specific combination, given in
+// model indexing (0 = blackhole, k = Paths[k-1]).
+func (s *Solution) Fraction(c Combo) float64 {
+	if len(c) != s.m.m {
+		return 0
+	}
+	for _, i := range c {
+		if i < 0 || i >= s.m.base {
+			return 0
+		}
+	}
+	return s.X[s.m.index(c)]
+}
+
+// ActiveCombos returns the combinations carrying at least minFraction of
+// the traffic, sorted by decreasing share.
+func (s *Solution) ActiveCombos(minFraction float64) []ComboShare {
+	var out []ComboShare
+	for l, x := range s.X {
+		if x >= minFraction && x > 0 {
+			out = append(out, ComboShare{Combo: s.combos[l], Fraction: x, DeliveryProb: s.delivery[l]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Fraction != out[b].Fraction {
+			return out[a].Fraction > out[b].Fraction
+		}
+		return s.m.index(out[a].Combo) < s.m.index(out[b].Combo)
+	})
+	return out
+}
+
+// SentRate returns Sᵢ (Eq. 2): the expected bit rate sent along real path
+// i (0-based index into Network.Paths).
+func (s *Solution) SentRate(i int) float64 {
+	model := i + 1 // shift past the blackhole
+	var rate float64
+	for l, x := range s.X {
+		rate += x * s.shares[l][model]
+	}
+	return rate * s.Network.Rate
+}
+
+// DropRate returns the bit rate deliberately discarded via the blackhole
+// on first transmission.
+func (s *Solution) DropRate() float64 {
+	var rate float64
+	for l, x := range s.X {
+		if s.combos[l][0] == 0 {
+			rate += x
+		}
+	}
+	return rate * s.Network.Rate
+}
+
+// Goodput returns G = Q·λ (Eqs. 5–6) in bits per second.
+func (s *Solution) Goodput() float64 { return s.Quality * s.Network.Rate }
+
+// Cost returns C (Eq. 7): the expected total cost per second.
+func (s *Solution) Cost() float64 {
+	var c float64
+	for l, x := range s.X {
+		c += x * s.costs[l]
+	}
+	return c * s.Network.Rate
+}
+
+// Timeouts returns the deterministic retransmission timeouts tᵢ = dᵢ +
+// d_min (Eq. 4) for each real path, plus an optional safety margin (the
+// paper's Experiment 1 adds 100 ms for queueing deviation).
+func (s *Solution) Timeouts(margin time.Duration) []time.Duration {
+	out := make([]time.Duration, len(s.Network.Paths))
+	dmin := s.Network.MinDelay()
+	for i, p := range s.Network.Paths {
+		out[i] = p.meanDelay() + dmin + margin
+	}
+	return out
+}
+
+// Problem exposes the underlying linear program (for diagnostics and the
+// solver-ablation benchmarks).
+func (s *Solution) Problem() *lp.Problem { return s.problem }
+
+// Combos returns every path combination in variable order (parallel to X).
+// The slice is shared; callers must not mutate it.
+func (s *Solution) Combos() []Combo { return s.combos }
+
+// DeliveryProbs returns p_l per combination in variable order (parallel to
+// X). The slice is shared; callers must not mutate it.
+func (s *Solution) DeliveryProbs() []float64 { return s.delivery }
+
+// String renders the strategy like the paper's Table IV rows.
+func (s *Solution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quality %.4f (%.1f%%)", s.Quality, s.Quality*100)
+	for _, cs := range s.ActiveCombos(1e-9) {
+		fmt.Fprintf(&b, "  %s=%.4g", cs.Combo, cs.Fraction)
+	}
+	return b.String()
+}

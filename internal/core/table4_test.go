@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmc/internal/ratlp"
+)
+
+// exactTableIII builds the Table III network with exact rational
+// characteristics and the §VII conservative model delays (450/150 ms),
+// which is what the paper feeds CGAL for Table IV.
+func exactTableIII(rateMbps int64, lifetime time.Duration) *ExactNetwork {
+	return &ExactNetwork{
+		Rate:     ratlp.Int(rateMbps * 1_000_000),
+		Lifetime: lifetime,
+		Paths: []ExactPath{
+			{Name: "path1", Bandwidth: ratlp.Int(80_000_000), Delay: 450 * time.Millisecond, Loss: ratlp.Rat(1, 5)},
+			{Name: "path2", Bandwidth: ratlp.Int(20_000_000), Delay: 150 * time.Millisecond, Loss: ratlp.Int(0)},
+		},
+	}
+}
+
+// comboFrac is one x_{i,j} = fraction entry of a published Table IV row.
+type comboFrac struct {
+	combo Combo
+	frac  *big.Rat
+}
+
+// assertExactRow solves the scenario exactly and checks (a) the exact
+// optimal quality matches the paper, and (b) the paper's published
+// solution vector is feasible with that same objective value (the LP can
+// have alternate optima, so the solver's own vertex may differ).
+func assertExactRow(t *testing.T, n *ExactNetwork, wantQ *big.Rat, published []comboFrac) {
+	t.Helper()
+	sol, err := SolveQualityExact(n)
+	if err != nil {
+		t.Fatalf("SolveQualityExact: %v", err)
+	}
+	if sol.Quality.Cmp(wantQ) != 0 {
+		t.Fatalf("quality = %s, want %s", sol.Quality.RatString(), wantQ.RatString())
+	}
+
+	// Check the published solution achieves the same exact objective and
+	// respects every constraint.
+	em := sol.em
+	x := make([]*big.Rat, em.nVars)
+	for l := range x {
+		x[l] = new(big.Rat)
+	}
+	total := new(big.Rat)
+	for _, cf := range published {
+		x[em.index(cf.combo)] = cf.frac
+		total.Add(total, cf.frac)
+	}
+	if total.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("published fractions sum to %s, want 1", total.RatString())
+	}
+	// Objective of the published vector.
+	q := new(big.Rat)
+	for l, xv := range x {
+		if xv.Sign() == 0 {
+			continue
+		}
+		q.Add(q, new(big.Rat).Mul(em.deliveryProb(em.combo(l)), xv))
+	}
+	if q.Cmp(wantQ) != 0 {
+		t.Errorf("published solution achieves %s, want %s", q.RatString(), wantQ.RatString())
+	}
+	// Bandwidth feasibility of the published vector.
+	for i := 1; i < em.base; i++ {
+		if em.bw[i] == nil {
+			continue
+		}
+		used := new(big.Rat)
+		for l, xv := range x {
+			if xv.Sign() == 0 {
+				continue
+			}
+			share := em.sendShare(em.combo(l))[i]
+			used.Add(used, new(big.Rat).Mul(xv, share))
+		}
+		used.Mul(used, em.net.Rate)
+		if used.Cmp(em.bw[i]) > 0 {
+			t.Errorf("published solution uses %s b/s on path %d, cap %s", used.RatString(), i, em.bw[i].RatString())
+		}
+	}
+}
+
+// TestTable4RateSweep reproduces the top half of Table IV exactly:
+// δ = 800 ms, λ from 10 to 140 Mbps.
+func TestTable4RateSweep(t *testing.T) {
+	const δ = 800 * time.Millisecond
+	one := big.NewRat(1, 1)
+	rows := []struct {
+		rateMbps  int64
+		quality   *big.Rat
+		published []comboFrac
+	}{
+		{10, one, []comboFrac{{Combo{2, 2}, one}}},
+		{20, one, []comboFrac{{Combo{2, 2}, one}}},
+		{40, one, []comboFrac{{Combo{1, 2}, ratlp.Rat(5, 8)}, {Combo{2, 2}, ratlp.Rat(3, 8)}}},
+		{60, one, []comboFrac{{Combo{1, 2}, ratlp.Rat(5, 6)}, {Combo{2, 2}, ratlp.Rat(1, 6)}}},
+		{80, one, []comboFrac{{Combo{1, 2}, ratlp.Rat(15, 16)}, {Combo{2, 2}, ratlp.Rat(1, 16)}}},
+		{100, ratlp.Rat(21, 25), []comboFrac{{Combo{0, 0}, ratlp.Rat(4, 25)}, {Combo{1, 2}, ratlp.Rat(4, 5)}, {Combo{2, 2}, ratlp.Rat(1, 25)}}},
+		{120, ratlp.Rat(7, 10), []comboFrac{{Combo{0, 0}, ratlp.Rat(3, 10)}, {Combo{1, 2}, ratlp.Rat(2, 3)}, {Combo{2, 2}, ratlp.Rat(1, 30)}}},
+		{140, ratlp.Rat(3, 5), []comboFrac{{Combo{0, 0}, ratlp.Rat(2, 5)}, {Combo{1, 2}, ratlp.Rat(4, 7)}, {Combo{2, 2}, ratlp.Rat(1, 35)}}},
+	}
+	for _, row := range rows {
+		n := exactTableIII(row.rateMbps, δ)
+		assertExactRow(t, n, row.quality, row.published)
+	}
+}
+
+// TestTable4LifetimeSweep reproduces the bottom half of Table IV exactly:
+// λ = 90 Mbps, δ from 150 ms to 1050+ ms, including the published range
+// boundaries.
+func TestTable4LifetimeSweep(t *testing.T) {
+	rows := []struct {
+		lifetimes []time.Duration
+		quality   *big.Rat
+		published []comboFrac
+	}{
+		{
+			[]time.Duration{150 * time.Millisecond, 300 * time.Millisecond, 400 * time.Millisecond},
+			ratlp.Rat(2, 9),
+			[]comboFrac{{Combo{0, 0}, ratlp.Rat(7, 9)}, {Combo{2, 2}, ratlp.Rat(2, 9)}},
+		},
+		{
+			[]time.Duration{450 * time.Millisecond, 600 * time.Millisecond, 700 * time.Millisecond},
+			ratlp.Rat(38, 45),
+			[]comboFrac{{Combo{1, 0}, ratlp.Rat(7, 9)}, {Combo{2, 2}, ratlp.Rat(2, 9)}},
+		},
+		{
+			[]time.Duration{750 * time.Millisecond, 800 * time.Millisecond, 1000 * time.Millisecond},
+			ratlp.Rat(14, 15),
+			[]comboFrac{{Combo{0, 0}, ratlp.Rat(1, 15)}, {Combo{1, 2}, ratlp.Rat(8, 9)}, {Combo{2, 2}, ratlp.Rat(2, 45)}},
+		},
+		{
+			[]time.Duration{1050 * time.Millisecond, 1500 * time.Millisecond},
+			ratlp.Rat(14, 15),
+			[]comboFrac{{Combo{0, 0}, ratlp.Rat(1, 27)}, {Combo{1, 1}, ratlp.Rat(20, 27)}, {Combo{2, 2}, ratlp.Rat(2, 9)}},
+		},
+	}
+	for _, row := range rows {
+		for _, δ := range row.lifetimes {
+			n := exactTableIII(90, δ)
+			assertExactRow(t, n, row.quality, row.published)
+		}
+	}
+}
+
+// TestTable4QualityBreakpoints verifies the quality transitions happen at
+// exactly the lifetimes the published ranges imply (steps at 450, 750, and
+// no further change at 1050 ms).
+func TestTable4QualityBreakpoints(t *testing.T) {
+	quality := func(δ time.Duration) *big.Rat {
+		sol, err := SolveQualityExact(exactTableIII(90, δ))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Quality
+	}
+	if q := quality(449 * time.Millisecond); q.Cmp(ratlp.Rat(2, 9)) != 0 {
+		t.Errorf("Q(449ms) = %s, want 2/9", q.RatString())
+	}
+	if q := quality(450 * time.Millisecond); q.Cmp(ratlp.Rat(38, 45)) != 0 {
+		t.Errorf("Q(450ms) = %s, want 38/45", q.RatString())
+	}
+	if q := quality(749 * time.Millisecond); q.Cmp(ratlp.Rat(38, 45)) != 0 {
+		t.Errorf("Q(749ms) = %s, want 38/45", q.RatString())
+	}
+	if q := quality(750 * time.Millisecond); q.Cmp(ratlp.Rat(14, 15)) != 0 {
+		t.Errorf("Q(750ms) = %s, want 14/15", q.RatString())
+	}
+	if q := quality(2 * time.Second); q.Cmp(ratlp.Rat(14, 15)) != 0 {
+		t.Errorf("Q(2s) = %s, want 14/15", q.RatString())
+	}
+	// Below 150 ms nothing arrives in time.
+	if q := quality(100 * time.Millisecond); q.Sign() != 0 {
+		t.Errorf("Q(100ms) = %s, want 0", q.RatString())
+	}
+}
+
+// TestExactMatchesFloat cross-validates the exact and float pipelines on
+// the Table IV scenarios.
+func TestExactMatchesFloat(t *testing.T) {
+	for _, rate := range []int64{10, 40, 90, 120, 150} {
+		for _, δ := range []time.Duration{300, 600, 800, 1100} {
+			δ := δ * time.Millisecond
+			exact, err := SolveQualityExact(exactTableIII(rate, δ))
+			if err != nil {
+				t.Fatal(err)
+			}
+			float := solveQ(t, tableIIINetwork(float64(rate), δ))
+			want, _ := exact.Quality.Float64()
+			if diff := float.Quality - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("λ=%d δ=%v: float %v vs exact %v", rate, δ, float.Quality, want)
+			}
+		}
+	}
+}
+
+// TestQuickExactMatchesFloatThreeTransmissions cross-validates the two
+// solver pipelines on random m=3 instances with integer-friendly
+// parameters (so float→rational conversion is exact).
+func TestQuickExactMatchesFloatThreeTransmissions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		numPaths := 1 + rng.Intn(3)
+		paths := make([]Path, numPaths)
+		for i := range paths {
+			paths[i] = Path{
+				Bandwidth: float64(1+rng.Intn(100)) * Mbps,
+				Delay:     time.Duration(10+rng.Intn(500)) * time.Millisecond,
+				Loss:      float64(rng.Intn(10)) / 16, // dyadic: exact in float64
+				Cost:      float64(rng.Intn(5)),
+			}
+		}
+		n := NewNetwork(float64(1+rng.Intn(150))*Mbps, time.Duration(100+rng.Intn(1000))*time.Millisecond, paths...)
+		n.Transmissions = 3
+		if rng.Intn(2) == 0 {
+			n.CostBound = float64(rng.Intn(1000)) * Mbps
+		}
+		fs, err := SolveQuality(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := ExactFromFloat(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := SolveQualityExact(en)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, _ := es.Quality.Float64()
+		if math.Abs(fs.Quality-eq) > 1e-9 {
+			t.Fatalf("trial %d: float %v vs exact %v\nnetwork: %+v", trial, fs.Quality, eq, n)
+		}
+	}
+}
+
+func TestExactFromFloat(t *testing.T) {
+	n := tableIIINetwork(90, 800*time.Millisecond)
+	n.CostBound = 1000
+	en, err := ExactFromFloat(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(en.Paths) != 2 || en.CostBound == nil {
+		t.Fatal("conversion lost fields")
+	}
+	if _, err := SolveQualityExact(en); err != nil {
+		t.Fatalf("solving converted network: %v", err)
+	}
+	// Invalid input propagates.
+	bad := *n
+	bad.Rate = -1
+	if _, err := ExactFromFloat(&bad); err == nil {
+		t.Error("ExactFromFloat accepted invalid network")
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	valid := exactTableIII(90, 800*time.Millisecond)
+	mutations := []func(*ExactNetwork){
+		func(n *ExactNetwork) { n.Paths = nil },
+		func(n *ExactNetwork) { n.Rate = nil },
+		func(n *ExactNetwork) { n.Rate = ratlp.Int(-5) },
+		func(n *ExactNetwork) { n.Lifetime = 0 },
+		func(n *ExactNetwork) { n.CostBound = ratlp.Int(-1) },
+		func(n *ExactNetwork) { n.Transmissions = 9 },
+		func(n *ExactNetwork) { n.Paths[0].Loss = nil },
+		func(n *ExactNetwork) { n.Paths[0].Loss = ratlp.Int(2) },
+		func(n *ExactNetwork) { n.Paths[0].Bandwidth = ratlp.Int(0) },
+		func(n *ExactNetwork) { n.Paths[0].Delay = -1 },
+		func(n *ExactNetwork) { n.Paths[0].Cost = ratlp.Int(-1) },
+	}
+	for i, mut := range mutations {
+		n := exactTableIII(90, 800*time.Millisecond)
+		*n = *valid
+		n.Paths = append([]ExactPath(nil), valid.Paths...)
+		mut(n)
+		if _, err := SolveQualityExact(n); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestExactSolutionAccessors(t *testing.T) {
+	sol, err := SolveQualityExact(exactTableIII(100, 800*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.String() == "" {
+		t.Error("String empty")
+	}
+	active := sol.ActiveCombos()
+	if len(active) == 0 {
+		t.Fatal("no active combos")
+	}
+	sum := new(big.Rat)
+	for _, cs := range active {
+		sum.Add(sum, cs.Fraction)
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("fractions sum to %s", sum.RatString())
+	}
+	if sol.Fraction(Combo{0}).Sign() != 0 || sol.Fraction(Combo{0, 99}).Sign() != 0 {
+		t.Error("bogus combos should have zero fraction")
+	}
+}

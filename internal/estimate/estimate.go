@@ -1,0 +1,368 @@
+// Package estimate implements the §VIII-A online estimation techniques:
+// loss counters that refine from an initial 0 %, RFC 6298-style smoothed
+// RTT with a variance term, shifted-gamma fitting from delay samples by
+// the method of moments, a windowed rate meter for bandwidth, and an
+// Adaptor that re-solves the sending strategy when estimates drift
+// significantly (§VIII-B: "solve only when the estimations of network
+// characteristics vary significantly").
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/dist"
+)
+
+// Loss estimates a path's erasure probability by counting. The paper's
+// §VIII-A bootstrap applies: with no observations the estimate is 0 and
+// refines as losses are recorded.
+type Loss struct {
+	sent, lost int64
+}
+
+// RecordSent notes n transmissions on the path.
+func (l *Loss) RecordSent(n int) { l.sent += int64(n) }
+
+// RecordLost notes n known losses (timeout-inferred or nack'd).
+func (l *Loss) RecordLost(n int) { l.lost += int64(n) }
+
+// Rate returns lost/sent, or 0 before any data.
+func (l *Loss) Rate() float64 {
+	if l.sent <= 0 {
+		return 0
+	}
+	r := float64(l.lost) / float64(l.sent)
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Sent returns the transmission count.
+func (l *Loss) Sent() int64 { return l.sent }
+
+// Scale applies exponential forgetting: both counters shrink by factor
+// f ∈ [0, 1]. Periodic scaling makes the estimator track non-stationary
+// loss (a path whose quality changes mid-stream) instead of averaging
+// over all history. Factors outside [0, 1] are clamped.
+func (l *Loss) Scale(f float64) {
+	if math.IsNaN(f) || f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	l.sent = int64(float64(l.sent) * f)
+	l.lost = int64(float64(l.lost) * f)
+	if l.lost > l.sent {
+		l.lost = l.sent
+	}
+}
+
+// RTT is the RFC 6298 smoothed round-trip estimator (SRTT/RTTVAR), the
+// natural implementation of the paper's "as soon as an acknowledgment is
+// received, an RTT value can be computed".
+type RTT struct {
+	srtt   float64 // seconds
+	rttvar float64
+	n      int64
+}
+
+// standard RFC 6298 gains.
+const (
+	rttAlpha = 1.0 / 8
+	rttBeta  = 1.0 / 4
+)
+
+// Observe folds one RTT sample in.
+func (r *RTT) Observe(sample time.Duration) {
+	s := sample.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	if r.n == 0 {
+		r.srtt = s
+		r.rttvar = s / 2
+	} else {
+		err := s - r.srtt
+		r.rttvar = (1-rttBeta)*r.rttvar + rttBeta*math.Abs(err)
+		r.srtt += rttAlpha * err
+	}
+	r.n++
+}
+
+// Smoothed returns the current SRTT (zero before any sample).
+func (r *RTT) Smoothed() time.Duration {
+	return time.Duration(r.srtt * float64(time.Second))
+}
+
+// RTO returns SRTT + 4·RTTVAR, the classic conservative timeout.
+func (r *RTT) RTO() time.Duration {
+	return time.Duration((r.srtt + 4*r.rttvar) * float64(time.Second))
+}
+
+// Samples returns the number of observations folded in.
+func (r *RTT) Samples() int64 { return r.n }
+
+// GammaFit fits a shifted gamma delay distribution from one-way delay
+// samples by the method of moments, using the third central moment for
+// the shape (skewness of Gamma(α) is 2/√α) — the discretized alternative
+// the paper sketches in §VIII-A.
+type GammaFit struct {
+	n              int64
+	mean, m2, m3   float64 // running central moments (Welford-style)
+	min            float64
+	initialized    bool
+	MinSamples     int64 // fit refuses below this; default 100
+	minSampleFloor int64
+}
+
+// Observe folds one delay sample in.
+func (g *GammaFit) Observe(d time.Duration) {
+	x := d.Seconds()
+	if !g.initialized || x < g.min {
+		g.min = x
+		g.initialized = true
+	}
+	g.n++
+	n := float64(g.n)
+	delta := x - g.mean
+	deltaN := delta / n
+	term1 := delta * deltaN * (n - 1)
+	g.m3 += term1*deltaN*(n-2) - 3*deltaN*g.m2
+	g.m2 += term1
+	g.mean += deltaN
+}
+
+// N returns the sample count.
+func (g *GammaFit) N() int64 { return g.n }
+
+// Fit returns the method-of-moments shifted gamma. It fails below
+// MinSamples (default 100) or with degenerate variance/skewness.
+func (g *GammaFit) Fit() (dist.ShiftedGamma, error) {
+	min := g.MinSamples
+	if min <= 0 {
+		min = 100
+	}
+	if g.n < min {
+		return dist.ShiftedGamma{}, fmt.Errorf("estimate: %d delay samples, need ≥ %d", g.n, min)
+	}
+	n := float64(g.n)
+	variance := g.m2 / n
+	if variance <= 0 {
+		return dist.ShiftedGamma{}, errors.New("estimate: zero delay variance; use a deterministic delay model")
+	}
+	skew := (g.m3 / n) / math.Pow(variance, 1.5)
+	if skew <= 1e-3 {
+		// Symmetric or left-skewed samples cannot be a gamma; fall back to
+		// a moderately concentrated shape.
+		skew = 1e-3
+	}
+	shape := 4 / (skew * skew)
+	// Cap the shape: beyond ~1e6 the distribution is numerically a point
+	// mass and loc would go far below the sample minimum.
+	if shape > 1e6 {
+		shape = 1e6
+	}
+	scale := math.Sqrt(variance / shape)
+	loc := g.mean - shape*scale
+	if loc < 0 {
+		// Delays cannot be negative; renormalize against loc = 0 by
+		// stretching the scale to preserve the mean.
+		loc = 0
+		scale = g.mean / shape
+	}
+	return dist.ShiftedGamma{
+		Loc:   time.Duration(loc * float64(time.Second)),
+		Shape: shape,
+		Scale: time.Duration(scale * float64(time.Second)),
+	}, nil
+}
+
+// RateMeter measures achieved throughput over a sliding window — a stand-
+// in for the congestion-control-provided bandwidth of §VIII-A.
+type RateMeter struct {
+	// Window is the averaging horizon; zero defaults to 1 s.
+	Window time.Duration
+	events []rateEvent
+	bits   float64
+}
+
+type rateEvent struct {
+	at   time.Duration
+	bits float64
+}
+
+// Observe records bytes transferred at virtual time now.
+func (m *RateMeter) Observe(now time.Duration, bytes int) {
+	b := float64(bytes * 8)
+	m.events = append(m.events, rateEvent{at: now, bits: b})
+	m.bits += b
+	m.expire(now)
+}
+
+func (m *RateMeter) window() time.Duration {
+	if m.Window <= 0 {
+		return time.Second
+	}
+	return m.Window
+}
+
+func (m *RateMeter) expire(now time.Duration) {
+	cut := now - m.window()
+	i := 0
+	for i < len(m.events) && m.events[i].at < cut {
+		m.bits -= m.events[i].bits
+		i++
+	}
+	if i > 0 {
+		m.events = append(m.events[:0], m.events[i:]...)
+	}
+}
+
+// Rate returns the windowed average in bits per second as of now.
+func (m *RateMeter) Rate(now time.Duration) float64 {
+	m.expire(now)
+	w := m.window().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return m.bits / w
+}
+
+// Adaptor maintains per-path estimates over a base network and re-solves
+// the LP when they drift beyond a relative tolerance.
+type Adaptor struct {
+	base *core.Network
+	// RelTol is the relative drift that triggers a re-solve; zero means
+	// 0.1 (10 %).
+	RelTol float64
+
+	loss []Loss
+	rtt  []RTT
+
+	solvedOn *core.Network
+	solution *core.Solution
+	resolves int
+}
+
+// NewAdaptor wraps a base network (bandwidths, costs, and the lifetime
+// come from it; loss and delay are replaced by live estimates).
+func NewAdaptor(base *core.Network) (*Adaptor, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	return &Adaptor{
+		base: base,
+		loss: make([]Loss, len(base.Paths)),
+		rtt:  make([]RTT, len(base.Paths)),
+	}, nil
+}
+
+// ObserveSend counts a transmission on path i.
+func (a *Adaptor) ObserveSend(i int) { a.loss[i].RecordSent(1) }
+
+// ObserveLoss counts an inferred loss on path i.
+func (a *Adaptor) ObserveLoss(i int) { a.loss[i].RecordLost(1) }
+
+// ObserveRTT folds an acknowledgment RTT for path i.
+func (a *Adaptor) ObserveRTT(i int, rtt time.Duration) { a.rtt[i].Observe(rtt) }
+
+// Forget applies exponential forgetting (factor f per call) to the loss
+// counters of every path, so estimates track changing conditions. Call it
+// once per epoch/interval; f = 0.5 roughly halves the memory horizon.
+func (a *Adaptor) Forget(f float64) {
+	for i := range a.loss {
+		a.loss[i].Scale(f)
+	}
+}
+
+// EstimatedNetwork returns the base network with live loss and delay
+// estimates substituted. One-way delays derive from RTTs per the paper's
+// scheme: RTT_i = dᵢ + d_min, and the ack path's own RTT = 2·d_min.
+func (a *Adaptor) EstimatedNetwork() *core.Network {
+	n := *a.base
+	n.Paths = append([]core.Path(nil), a.base.Paths...)
+	ackIdx := a.base.AckPathIndex()
+	dmin := a.rtt[ackIdx].Smoothed() / 2
+	for i := range n.Paths {
+		if a.rtt[i].Samples() > 0 {
+			d := a.rtt[i].Smoothed() - dmin
+			if d < 0 {
+				d = 0
+			}
+			n.Paths[i].Delay = d
+			n.Paths[i].RandDelay = nil
+		}
+		n.Paths[i].Loss = a.loss[i].Rate()
+	}
+	return &n
+}
+
+// Solution returns the current strategy, solving on first use or when
+// estimates drifted beyond RelTol since the last solve. The bool reports
+// whether a re-solve happened.
+func (a *Adaptor) Solution() (*core.Solution, bool, error) {
+	cur := a.EstimatedNetwork()
+	if a.solution != nil && !a.drifted(cur) {
+		return a.solution, false, nil
+	}
+	sol, err := core.SolveQuality(cur)
+	if err != nil {
+		return nil, false, fmt.Errorf("estimate: adaptive re-solve: %w", err)
+	}
+	a.solution = sol
+	a.solvedOn = cur
+	a.resolves++
+	return sol, true, nil
+}
+
+// Resolves counts how many times the LP was solved.
+func (a *Adaptor) Resolves() int { return a.resolves }
+
+func (a *Adaptor) relTol() float64 {
+	if a.RelTol <= 0 {
+		return 0.1
+	}
+	return a.RelTol
+}
+
+// drifted reports whether any estimated characteristic moved beyond the
+// relative tolerance since the last solve (absolute floor: 1 ms delay,
+// 0.01 loss).
+func (a *Adaptor) drifted(cur *core.Network) bool {
+	tol := a.relTol()
+	for i := range cur.Paths {
+		prev, now := a.solvedOn.Paths[i], cur.Paths[i]
+		if relDiff(prev.Delay.Seconds(), now.Delay.Seconds()) > tol &&
+			absDiff(prev.Delay, now.Delay) > time.Millisecond {
+			return true
+		}
+		if math.Abs(prev.Loss-now.Loss) > math.Max(0.01, tol*prev.Loss) {
+			return true
+		}
+		if relDiff(prev.Bandwidth, now.Bandwidth) > tol {
+			return true
+		}
+	}
+	return false
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}
+
+func absDiff(a, b time.Duration) time.Duration {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,234 @@
+package estimate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/dist"
+)
+
+func TestLossCounter(t *testing.T) {
+	var l Loss
+	if l.Rate() != 0 {
+		t.Error("initial rate must be 0 (paper bootstrap)")
+	}
+	l.RecordSent(80)
+	l.RecordLost(20)
+	l.RecordSent(20)
+	if got := l.Rate(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("rate = %v, want 0.2", got)
+	}
+	if l.Sent() != 100 {
+		t.Errorf("sent = %d", l.Sent())
+	}
+	// Overcount clamps at 1.
+	var l2 Loss
+	l2.RecordSent(1)
+	l2.RecordLost(5)
+	if l2.Rate() != 1 {
+		t.Errorf("rate = %v, want clamp 1", l2.Rate())
+	}
+}
+
+func TestRTTSmoothing(t *testing.T) {
+	var r RTT
+	if r.Smoothed() != 0 || r.RTO() != 0 {
+		t.Error("zero-value RTT should be 0")
+	}
+	r.Observe(100 * time.Millisecond)
+	if r.Smoothed() != 100*time.Millisecond {
+		t.Errorf("first sample: %v", r.Smoothed())
+	}
+	if r.RTO() != 300*time.Millisecond { // srtt + 4·(srtt/2)
+		t.Errorf("RTO = %v, want 300ms", r.RTO())
+	}
+	for i := 0; i < 500; i++ {
+		r.Observe(200 * time.Millisecond)
+	}
+	if got := r.Smoothed(); (got - 200*time.Millisecond).Abs() > 2*time.Millisecond {
+		t.Errorf("converged SRTT = %v, want ≈200ms", got)
+	}
+	if r.Samples() != 501 {
+		t.Errorf("samples = %d", r.Samples())
+	}
+	// Negative samples clamp rather than corrupting state.
+	r.Observe(-time.Second)
+	if r.Smoothed() < 0 {
+		t.Error("negative SRTT")
+	}
+}
+
+func TestGammaFitRecoversParameters(t *testing.T) {
+	// Table V path 1: loc 400 ms, shape 10, scale 4 ms.
+	truth := dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+	rng := rand.New(rand.NewPCG(5, 6))
+	var g GammaFit
+	for i := 0; i < 200000; i++ {
+		g.Observe(truth.Sample(rng))
+	}
+	fit, err := g.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (fit.Mean() - truth.Mean()).Abs() > time.Millisecond {
+		t.Errorf("fit mean %v, want %v", fit.Mean(), truth.Mean())
+	}
+	if rel := math.Abs(fit.Var()-truth.Var()) / truth.Var(); rel > 0.05 {
+		t.Errorf("fit var off by %v%%", rel*100)
+	}
+	// Shape recovery from the third moment is noisier: 25 % is fine for
+	// timeout computation purposes.
+	if rel := math.Abs(fit.Shape-truth.Shape) / truth.Shape; rel > 0.25 {
+		t.Errorf("fit shape %v, want ≈%v", fit.Shape, truth.Shape)
+	}
+}
+
+func TestGammaFitErrors(t *testing.T) {
+	var g GammaFit
+	if _, err := g.Fit(); err == nil {
+		t.Error("fit with no samples accepted")
+	}
+	for i := 0; i < 200; i++ {
+		g.Observe(100 * time.Millisecond) // constant → zero variance
+	}
+	if _, err := g.Fit(); err == nil {
+		t.Error("zero-variance fit accepted")
+	}
+	if g.N() != 200 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestGammaFitNegativeLocClamp(t *testing.T) {
+	// Nearly symmetric small-mean samples drive loc negative; the fit must
+	// clamp to zero and preserve the mean.
+	rng := rand.New(rand.NewPCG(9, 9))
+	var g GammaFit
+	for i := 0; i < 5000; i++ {
+		// Uniform 0..10ms: skew ≈ 0 → huge shape → loc clamp path.
+		g.Observe(time.Duration(rng.Int64N(int64(10 * time.Millisecond))))
+	}
+	fit, err := g.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Loc < 0 {
+		t.Errorf("loc = %v, want ≥ 0", fit.Loc)
+	}
+	if (fit.Mean() - 5*time.Millisecond).Abs() > time.Millisecond {
+		t.Errorf("mean %v, want ≈5ms", fit.Mean())
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var m RateMeter // default 1 s window
+	for i := 0; i < 10; i++ {
+		m.Observe(time.Duration(i)*100*time.Millisecond, 12500) // 100 kbit every 100 ms
+	}
+	// At t=900ms: all 10 events in window: 1 Mbit over 1 s.
+	if got := m.Rate(900 * time.Millisecond); math.Abs(got-1e6) > 1 {
+		t.Errorf("rate = %v, want 1e6", got)
+	}
+	// At t=1.55s, events before 0.55s expired: 600..900 ms remain (4).
+	if got := m.Rate(1550 * time.Millisecond); math.Abs(got-4e5) > 1 {
+		t.Errorf("rate = %v, want 4e5", got)
+	}
+	if got := m.Rate(time.Hour); got != 0 {
+		t.Errorf("rate after quiet hour = %v, want 0", got)
+	}
+	custom := RateMeter{Window: 100 * time.Millisecond}
+	custom.Observe(0, 1250) // 10 kbit
+	if got := custom.Rate(0); math.Abs(got-1e5) > 1 {
+		t.Errorf("custom window rate = %v, want 1e5", got)
+	}
+}
+
+func baseNetwork() *core.Network {
+	return core.NewNetwork(90*core.Mbps, 800*time.Millisecond,
+		core.Path{Name: "p1", Bandwidth: 80 * core.Mbps, Delay: 450 * time.Millisecond, Loss: 0},
+		core.Path{Name: "p2", Bandwidth: 20 * core.Mbps, Delay: 150 * time.Millisecond, Loss: 0},
+	)
+}
+
+func TestAdaptorBootstrapAndResolve(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, solved, err := a.Solution()
+	if err != nil || !solved || sol == nil {
+		t.Fatalf("first Solution: sol=%v solved=%v err=%v", sol, solved, err)
+	}
+	// No observations: second call must reuse.
+	_, solved, err = a.Solution()
+	if err != nil || solved {
+		t.Fatalf("unchanged estimates should not re-solve (solved=%v err=%v)", solved, err)
+	}
+	if a.Resolves() != 1 {
+		t.Errorf("resolves = %d", a.Resolves())
+	}
+
+	// Record a 20% loss on path 1 → drift → re-solve with lower quality.
+	for i := 0; i < 100; i++ {
+		a.ObserveSend(0)
+		if i%5 == 0 {
+			a.ObserveLoss(0)
+		}
+	}
+	sol2, solved, err := a.Solution()
+	if err != nil || !solved {
+		t.Fatalf("loss drift should re-solve (solved=%v err=%v)", solved, err)
+	}
+	if sol2.Quality >= sol.Quality {
+		t.Errorf("quality should drop with observed loss: %v → %v", sol.Quality, sol2.Quality)
+	}
+}
+
+func TestAdaptorRTTDerivedDelays(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTTs: path1 600 ms, path2 (ack path) 300 ms → d_min = 150 ms,
+	// d1 = 450 ms, d2 = 150 ms.
+	for i := 0; i < 50; i++ {
+		a.ObserveRTT(0, 600*time.Millisecond)
+		a.ObserveRTT(1, 300*time.Millisecond)
+	}
+	n := a.EstimatedNetwork()
+	if d := n.Paths[0].Delay; (d - 450*time.Millisecond).Abs() > time.Millisecond {
+		t.Errorf("d1 = %v, want 450ms", d)
+	}
+	if d := n.Paths[1].Delay; (d - 150*time.Millisecond).Abs() > time.Millisecond {
+		t.Errorf("d2 = %v, want 150ms", d)
+	}
+}
+
+func TestAdaptorValidation(t *testing.T) {
+	if _, err := NewAdaptor(&core.Network{}); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestAdaptorDriftThresholds(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Solution(); err != nil {
+		t.Fatal(err)
+	}
+	// Sub-threshold loss (0.5%) must not trigger a re-solve.
+	for i := 0; i < 1000; i++ {
+		a.ObserveSend(0)
+		if i%200 == 0 {
+			a.ObserveLoss(0)
+		}
+	}
+	if _, solved, _ := a.Solution(); solved {
+		t.Error("0.5% loss drift should stay under the 1% floor")
+	}
+}

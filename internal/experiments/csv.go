@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Fig2CSV renders a Figure 2 series as CSV (one row per x position).
+func Fig2CSV(points []Fig2Point, xLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,multipath_sim,multipath_theory,path1_theory,path2_theory\n", csvField(xLabel))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%g,%.6f,%.6f,%.6f,%.6f\n",
+			p.X, p.MultipathSim, p.MultipathTheory, p.Path1Theory, p.Path2Theory)
+	}
+	return b.String()
+}
+
+// Fig3CSV renders a Figure 3 sensitivity sweep as CSV.
+func Fig3CSV(param Fig3Param, points []Fig3Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s_error,quality_path1_err,quality_path2_err\n", param)
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.3f,%.6f,%.6f\n", p.Error, p.QualityPath1, p.QualityPath2)
+	}
+	return b.String()
+}
+
+// Fig4CSV renders the solver-timing sweep as CSV (times in microseconds).
+func Fig4CSV(points []Fig4Point) string {
+	var b strings.Builder
+	b.WriteString("paths,transmissions,variables,mean_solve_us\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%d,%d,%.3f\n",
+			p.Paths, p.Transmissions, p.Variables, float64(p.MeanSolve.Nanoseconds())/1e3)
+	}
+	return b.String()
+}
+
+// Table4CSV renders Table IV rows as CSV with exact fractions.
+func Table4CSV(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("scenario,quality_exact,quality_pct,strategy\n")
+	for _, r := range rows {
+		label := fmt.Sprintf("lambda=%dMbps", r.RateMbps)
+		if r.RateMbps == 0 {
+			label = fmt.Sprintf("delta=%s", r.Lifetime)
+		}
+		var strat []string
+		for _, s := range r.Shares {
+			strat = append(strat, fmt.Sprintf("%s=%s", s.Combo, s.Fraction.RatString()))
+		}
+		fmt.Fprintf(&b, "%s,%s,%.4f,%s\n",
+			label, r.Quality.RatString(), r.QualityPercent(), csvField(strings.Join(strat, " ")))
+	}
+	return b.String()
+}
+
+// csvField quotes a field when needed.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteCSVFile writes content into dir/name, creating dir if needed.
+func WriteCSVFile(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("experiments: writing %s: %w", path, err)
+	}
+	return nil
+}

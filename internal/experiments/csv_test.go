@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig2CSV(t *testing.T) {
+	pts := []Fig2Point{{X: 10, MultipathSim: 0.99, MultipathTheory: 1, Path1Theory: 0.8, Path2Theory: 1}}
+	csv := Fig2CSV(pts, "lambda_mbps")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "lambda_mbps,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,0.99") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFig3CSVAndFig4CSV(t *testing.T) {
+	f3 := Fig3CSV(Fig3Loss, []Fig3Point{{Error: -0.2, QualityPath1: 0.8, QualityPath2: 0.9}})
+	if !strings.Contains(f3, "loss_error") || !strings.Contains(f3, "-0.200") {
+		t.Errorf("fig3 csv: %q", f3)
+	}
+	f4 := Fig4CSV([]Fig4Point{{Paths: 2, Transmissions: 3, Variables: 27, MeanSolve: 24 * time.Microsecond}})
+	if !strings.Contains(f4, "2,3,27,24.000") {
+		t.Errorf("fig4 csv: %q", f4)
+	}
+}
+
+func TestTable4CSV(t *testing.T) {
+	rows, err := Table4Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := Table4CSV(rows[:3])
+	if !strings.Contains(content, "lambda=10Mbps,1,100.0000") {
+		t.Errorf("csv: %q", content)
+	}
+	// Combo names contain commas ("x1,2"), so strategy fields must be
+	// quoted: a conforming CSV parser sees exactly 4 columns per record.
+	records, err := csv.NewReader(strings.NewReader(content)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	for i, rec := range records {
+		if len(rec) != 4 {
+			t.Errorf("record %d has %d fields: %q", i, len(rec), rec)
+		}
+	}
+}
+
+func TestCSVFieldQuoting(t *testing.T) {
+	if csvField("plain") != "plain" {
+		t.Error("plain field quoted")
+	}
+	if csvField(`a,b`) != `"a,b"` {
+		t.Error("comma field not quoted")
+	}
+	if csvField(`say "hi"`) != `"say ""hi"""` {
+		t.Error("quote escaping wrong")
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := WriteCSVFile(dir, "x.csv", "a,b\n1,2\n"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("content = %q", data)
+	}
+}

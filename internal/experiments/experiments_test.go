@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"dmc/internal/ratlp"
+)
+
+func TestTable4TopMatchesPaper(t *testing.T) {
+	rows, err := Table4Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	want := map[int64]*big.Rat{
+		10: big.NewRat(1, 1), 20: big.NewRat(1, 1), 40: big.NewRat(1, 1),
+		60: big.NewRat(1, 1), 80: big.NewRat(1, 1),
+		100: ratlp.Rat(21, 25), 120: ratlp.Rat(7, 10), 140: ratlp.Rat(3, 5),
+	}
+	for _, r := range rows {
+		w, ok := want[r.RateMbps]
+		if !ok {
+			continue
+		}
+		if r.Quality.Cmp(w) != 0 {
+			t.Errorf("λ=%d: quality %s, want %s", r.RateMbps, r.Quality.RatString(), w.RatString())
+		}
+	}
+	text := RenderTable4(rows)
+	if !strings.Contains(text, "λ=100 Mbps") || !strings.Contains(text, "21/25") {
+		t.Errorf("render missing expected content:\n%s", text)
+	}
+}
+
+func TestTable4BottomMatchesPaper(t *testing.T) {
+	rows, err := Table4Bottom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[time.Duration]*big.Rat{
+		150 * time.Millisecond:  ratlp.Rat(2, 9),
+		400 * time.Millisecond:  ratlp.Rat(2, 9),
+		450 * time.Millisecond:  ratlp.Rat(38, 45),
+		700 * time.Millisecond:  ratlp.Rat(38, 45),
+		750 * time.Millisecond:  ratlp.Rat(14, 15),
+		1000 * time.Millisecond: ratlp.Rat(14, 15),
+		1050 * time.Millisecond: ratlp.Rat(14, 15),
+		1200 * time.Millisecond: ratlp.Rat(14, 15),
+	}
+	for _, r := range rows {
+		w, ok := want[r.Lifetime]
+		if !ok {
+			continue
+		}
+		if r.Quality.Cmp(w) != 0 {
+			t.Errorf("δ=%v: quality %s, want %s", r.Lifetime, r.Quality.RatString(), w.RatString())
+		}
+	}
+}
+
+func TestFigure2TopShape(t *testing.T) {
+	pts, err := Figure2Top(Figure2Config{Messages: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 15 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		// Simulation within a few points of theory.
+		if diff := math.Abs(p.MultipathSim - p.MultipathTheory); diff > 0.03 {
+			t.Errorf("λ=%v: sim %v vs theory %v", p.X, p.MultipathSim, p.MultipathTheory)
+		}
+		// Multipath dominates both single paths.
+		if p.MultipathTheory < p.Path1Theory-1e-9 || p.MultipathTheory < p.Path2Theory-1e-9 {
+			t.Errorf("λ=%v: multipath %v below single-path (%v, %v)", p.X, p.MultipathTheory, p.Path1Theory, p.Path2Theory)
+		}
+	}
+	// Known anchors: Q=1 at λ≤80, 84% at λ=100.
+	if math.Abs(pts[7].MultipathTheory-1) > 1e-9 { // λ=80
+		t.Errorf("λ=80 theory = %v, want 1", pts[7].MultipathTheory)
+	}
+	if math.Abs(pts[9].MultipathTheory-0.84) > 1e-9 { // λ=100
+		t.Errorf("λ=100 theory = %v, want 0.84", pts[9].MultipathTheory)
+	}
+	// Path 2 alone: 20/λ beyond 20 Mbps.
+	if math.Abs(pts[9].Path2Theory-0.2) > 1e-9 {
+		t.Errorf("λ=100 path2 = %v, want 0.2", pts[9].Path2Theory)
+	}
+	if s := RenderFigure2(pts, "lambda (Mbps)"); !strings.Contains(s, "multipath(sim)") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFigure2BottomShape(t *testing.T) {
+	pts, err := Figure2Bottom(Figure2Config{Messages: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quality steps: 0 below 150 ms, 2/9 to 450, 38/45 to 750, 14/15 after.
+	for _, p := range pts {
+		var want float64
+		switch {
+		case p.X < 150:
+			want = 0
+		case p.X < 450:
+			want = 2.0 / 9
+		case p.X < 750:
+			want = 38.0 / 45
+		default:
+			want = 14.0 / 15
+		}
+		if math.Abs(p.MultipathTheory-want) > 1e-9 {
+			t.Errorf("δ=%vms: theory %v, want %v", p.X, p.MultipathTheory, want)
+		}
+		if diff := math.Abs(p.MultipathSim - p.MultipathTheory); diff > 0.04 {
+			t.Errorf("δ=%vms: sim %v vs theory %v", p.X, p.MultipathSim, p.MultipathTheory)
+		}
+	}
+}
+
+func TestExperiment2Reproduction(t *testing.T) {
+	r, err := Experiment2(20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModelQuality < 0.93 || r.ModelQuality > 0.934 {
+		t.Errorf("model quality %v, want ≈0.933", r.ModelQuality)
+	}
+	if math.Abs(r.SimQuality()-r.ModelQuality) > 0.01 {
+		t.Errorf("sim quality %v vs model %v", r.SimQuality(), r.ModelQuality)
+	}
+	if _, ok := r.Timeouts.Get(0, 0); ok {
+		t.Error("t11 should be undefined")
+	}
+	if s := RenderExperiment2(r); !strings.Contains(s, "615ms") {
+		t.Error("render missing paper reference")
+	}
+}
+
+func TestFigure3LossShape(t *testing.T) {
+	pts, err := Figure3(Fig3Loss, Figure3Config{Messages: 2500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 13 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Zero error is (near) optimal.
+	var zero Fig3Point
+	for _, p := range pts {
+		if math.Abs(p.Error) < 1e-9 {
+			zero = p
+		}
+	}
+	if zero.QualityPath1 < 0.9 || zero.QualityPath2 < 0.9 {
+		t.Errorf("zero-error quality low: %+v", zero)
+	}
+	// Grossly overestimating path1 loss (e=+1 → τ=1) must hurt: the model
+	// stops trusting path 1 entirely.
+	last := pts[len(pts)-1]
+	if last.QualityPath1 > zero.QualityPath1-0.2 {
+		t.Errorf("τ1=1 estimate should collapse quality: %+v vs %+v", last, zero)
+	}
+	if s := RenderFigure3(Fig3Loss, pts); !strings.Contains(s, "loss error") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFigure3BandwidthShape(t *testing.T) {
+	pts, err := Figure3(Fig3Bandwidth, Figure3Config{Messages: 2500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, mid := pts[0], pts[5]
+	if math.Abs(first.Error+0.5) > 1e-9 || math.Abs(mid.Error) > 1e-9 {
+		t.Fatalf("unexpected error grid: %v, %v", first.Error, mid.Error)
+	}
+	// Underestimating path1 bandwidth by 50% forces drops → quality loss.
+	if first.QualityPath1 > mid.QualityPath1-0.1 {
+		t.Errorf("bandwidth underestimation should cost quality: %+v vs %+v", first, mid)
+	}
+}
+
+func TestFigure3UnknownParam(t *testing.T) {
+	if _, err := Figure3(Fig3Param(99), Figure3Config{Messages: 10}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if Fig3Param(99).String() == "" || Fig3Bandwidth.String() != "bandwidth" {
+		t.Error("param names wrong")
+	}
+}
+
+func TestFigure4Scaling(t *testing.T) {
+	pts, err := Figure4(Figure4Config{Runs: 3, Seed: 6, MaxPaths: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 { // n ∈ {2..5} × m ∈ {2,3}
+		t.Fatalf("got %d points", len(pts))
+	}
+	byKey := map[[2]int]Fig4Point{}
+	for _, p := range pts {
+		byKey[[2]int{p.Paths, p.Transmissions}] = p
+		if p.MeanSolve <= 0 {
+			t.Errorf("n=%d m=%d: non-positive solve time", p.Paths, p.Transmissions)
+		}
+	}
+	// Variable counts are (n+1)^m.
+	if byKey[[2]int{4, 2}].Variables != 25 || byKey[[2]int{4, 3}].Variables != 125 {
+		t.Errorf("variable counts wrong: %+v", byKey)
+	}
+	if s := RenderFigure4(pts); !strings.Contains(s, "mean solve") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	rows, err := SchedulerAblation(6000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Quality < 0.85 {
+			t.Errorf("%s quality %v suspiciously low", r.Selector, r.Quality)
+		}
+	}
+	if rows[0].Selector != "deficit (Algorithm 1)" {
+		t.Errorf("row order: %v", rows[0].Selector)
+	}
+	if s := RenderSchedulerAblation(rows); !strings.Contains(s, "deficit") {
+		t.Error("render missing selector")
+	}
+}
+
+func TestSolverAblation(t *testing.T) {
+	rows, err := SolverAblation(3, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxQualGap > 1e-6 {
+			t.Errorf("n=%d: float and exact disagree by %v", r.Paths, r.MaxQualGap)
+		}
+		if r.ExactTime < r.FloatTime {
+			t.Logf("note: exact faster than float at n=%d (%v vs %v)", r.Paths, r.ExactTime, r.FloatTime)
+		}
+	}
+	if s := RenderSolverAblation(rows); !strings.Contains(s, "exact simplex") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAckAblation(t *testing.T) {
+	rows, err := AckAblation(5000, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Duplicates >= rows[0].Duplicates {
+		t.Errorf("vector acks should cut duplicates: %+v", rows)
+	}
+	if s := RenderAckAblation(rows, 0.3); !strings.Contains(s, "vector acks") {
+		t.Error("render missing scheme")
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	s := RenderTable([]string{"a", "long-header"}, [][]string{{"xxxxxxx", "1"}})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator misaligned:\n%s", s)
+	}
+}

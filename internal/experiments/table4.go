@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"dmc/internal/core"
+)
+
+// Table4Row is one row of the Table IV reproduction: the scenario
+// parameter, the exact optimal strategy, and the exact quality.
+type Table4Row struct {
+	// RateMbps is λ for the top table (0 for lifetime rows).
+	RateMbps int64
+	// Lifetime is δ for the bottom table (0 for rate rows).
+	Lifetime time.Duration
+	// Shares are the nonzero x entries, descending.
+	Shares []core.ExactComboShare
+	// Quality is the exact optimal Q.
+	Quality *big.Rat
+}
+
+// QualityPercent renders the quality as a percentage.
+func (r Table4Row) QualityPercent() float64 {
+	f, _ := new(big.Rat).Mul(r.Quality, big.NewRat(100, 1)).Float64()
+	return f
+}
+
+// Table4Top reproduces the top half of Table IV: δ = 800 ms, λ from 10 to
+// 150 Mbps in 10 Mbps steps, solved exactly.
+func Table4Top() ([]Table4Row, error) {
+	var rows []Table4Row
+	for rate := int64(10); rate <= 150; rate += 10 {
+		sol, err := core.SolveQualityExact(TableIIIExact(rate, 800*time.Millisecond))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 4 λ=%d: %w", rate, err)
+		}
+		rows = append(rows, Table4Row{RateMbps: rate, Shares: sol.ActiveCombos(), Quality: sol.Quality})
+	}
+	return rows, nil
+}
+
+// Table4Bottom reproduces the bottom half of Table IV: λ = 90 Mbps, δ from
+// 150 ms to 1200 ms in 50 ms steps, solved exactly.
+func Table4Bottom() ([]Table4Row, error) {
+	var rows []Table4Row
+	for ms := 150; ms <= 1200; ms += 50 {
+		δ := time.Duration(ms) * time.Millisecond
+		sol, err := core.SolveQualityExact(TableIIIExact(90, δ))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 4 δ=%v: %w", δ, err)
+		}
+		rows = append(rows, Table4Row{Lifetime: δ, Shares: sol.ActiveCombos(), Quality: sol.Quality})
+	}
+	return rows, nil
+}
+
+// RenderTable4 renders rows in the paper's layout: one column per
+// combination that appears anywhere, plus the quality.
+func RenderTable4(rows []Table4Row) string {
+	// Collect the union of combinations.
+	comboKey := func(c core.Combo) string { return c.String() }
+	seen := map[string]core.Combo{}
+	for _, r := range rows {
+		for _, s := range r.Shares {
+			seen[comboKey(s.Combo)] = s.Combo
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	headers := []string{"scenario"}
+	headers = append(headers, keys...)
+	headers = append(headers, "quality Q")
+
+	var out [][]string
+	for _, r := range rows {
+		label := ""
+		if r.RateMbps > 0 {
+			label = fmt.Sprintf("λ=%d Mbps", r.RateMbps)
+		} else {
+			label = fmt.Sprintf("δ=%v", r.Lifetime)
+		}
+		row := []string{label}
+		byKey := map[string]*big.Rat{}
+		for _, s := range r.Shares {
+			byKey[comboKey(s.Combo)] = s.Fraction
+		}
+		for _, k := range keys {
+			if f, ok := byKey[k]; ok {
+				row = append(row, f.RatString())
+			} else {
+				row = append(row, "0")
+			}
+		}
+		row = append(row, fmt.Sprintf("%s (%.1f%%)", r.Quality.RatString(), r.QualityPercent()))
+		out = append(out, row)
+	}
+	return RenderTable(headers, out)
+}

@@ -1,0 +1,46 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolveSmallLP throws arbitrary 2-variable, 2-constraint problems at
+// the solver: it must never panic, and any Optimal answer must verify
+// feasible.
+func FuzzSolveSmallLP(f *testing.F) {
+	f.Add(1.0, 2.0, 1.0, 1.0, 3.0, 1.0, -1.0, 1.0, true, false)
+	f.Add(-5.0, 0.5, 2.0, 0.0, -1.0, 0.0, 1.0, 10.0, false, true)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, true, true)
+	f.Fuzz(func(t *testing.T, c1, c2, a11, a12, b1, a21, a22, b2 float64, max bool, eq bool) {
+		for _, v := range []float64{c1, c2, a11, a12, b1, a21, a22, b2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return // validated inputs rejected elsewhere; fuzz the solver core
+			}
+		}
+		sense := Minimize
+		if max {
+			sense = Maximize
+		}
+		p := NewProblem(sense, []float64{c1, c2})
+		p.AddConstraint([]float64{a11, a12}, LE, b1)
+		rel := GE
+		if eq {
+			rel = EQ
+		}
+		p.AddConstraint([]float64{a21, a22}, rel, b2)
+		// Box to keep everything bounded.
+		p.AddConstraint([]float64{1, 0}, LE, 1e6)
+		p.AddConstraint([]float64{0, 1}, LE, 1e6)
+
+		sol, err := Solve(p)
+		if err != nil {
+			return // iteration-limit style errors are acceptable
+		}
+		if sol.Status == Optimal {
+			if v := Verify(p, sol.X, 1e-5); len(v) != 0 {
+				t.Fatalf("optimal but infeasible: %v\nproblem:\n%v", v, p)
+			}
+		}
+	})
+}

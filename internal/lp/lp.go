@@ -1,0 +1,225 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs over float64, supporting maximization and minimization with
+// less-than, equality, and greater-than constraints and non-negative
+// variables.
+//
+// The paper solves its packet-to-path-combination assignment problem
+// (Eq. 10) with an off-the-shelf LP library (CGAL). Go's ecosystem has no
+// comparable standard solver, so this package provides one from scratch. It
+// is deliberately dense: the paper's problems have n^m variables (paths ×
+// transmissions) but only n+2 rows, for which a dense tableau is both simple
+// and fast. The companion package ratlp solves the same problems exactly
+// over rationals, mirroring CGAL's exact arithmetic.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sense selects the optimization direction of a Problem.
+type Sense int
+
+const (
+	// Maximize maximizes the objective.
+	Maximize Sense = iota + 1
+	// Minimize minimizes the objective.
+	Minimize
+)
+
+// String returns "maximize" or "minimize".
+func (s Sense) String() string {
+	switch s {
+	case Maximize:
+		return "maximize"
+	case Minimize:
+		return "minimize"
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Relation is the comparison operator of a constraint row.
+type Relation int
+
+const (
+	// LE constrains a·x ≤ b.
+	LE Relation = iota + 1
+	// EQ constrains a·x = b.
+	EQ
+	// GE constrains a·x ≥ b.
+	GE
+)
+
+// String returns the operator symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is a single linear constraint Coeffs·x Rel RHS.
+//
+// A LE constraint with RHS == +Inf is treated as vacuous and skipped; this
+// lets callers express "unbounded bandwidth" (the blackhole path) without
+// special-casing.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+	// Name optionally labels the constraint for diagnostics.
+	Name string
+}
+
+// Problem is a linear program over non-negative variables.
+//
+// All constraints must have len(Coeffs) == NumVars. The zero value is not
+// usable; construct with NewProblem.
+type Problem struct {
+	Sense       Sense
+	Objective   []float64
+	Constraints []Constraint
+
+	// VarNames optionally labels variables for diagnostics. If non-nil it
+	// must have length NumVars.
+	VarNames []string
+}
+
+// NewProblem returns a Problem with the given sense and objective vector and
+// no constraints. The objective slice is copied.
+func NewProblem(sense Sense, objective []float64) *Problem {
+	obj := make([]float64, len(objective))
+	copy(obj, objective)
+	return &Problem{Sense: sense, Objective: obj}
+}
+
+// NumVars reports the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// AddConstraint appends the constraint coeffs·x rel rhs. The coefficient
+// slice is copied.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	p.AddNamedConstraint("", coeffs, rel, rhs)
+}
+
+// AddNamedConstraint appends a labeled constraint. The coefficient slice is
+// copied.
+func (p *Problem) AddNamedConstraint(name string, coeffs []float64, rel Relation, rhs float64) {
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: c, Rel: rel, RHS: rhs, Name: name})
+}
+
+// validate reports structural problems: dimension mismatches, NaNs, or
+// infinities where they are not allowed.
+func (p *Problem) validate() error {
+	if p.Sense != Maximize && p.Sense != Minimize {
+		return fmt.Errorf("lp: invalid sense %d", int(p.Sense))
+	}
+	if len(p.Objective) == 0 {
+		return errors.New("lp: problem has no variables")
+	}
+	for j, c := range p.Objective {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: objective coefficient %d is %v", j, c)
+		}
+	}
+	if p.VarNames != nil && len(p.VarNames) != len(p.Objective) {
+		return fmt.Errorf("lp: %d variable names for %d variables", len(p.VarNames), len(p.Objective))
+	}
+	for i, con := range p.Constraints {
+		if len(con.Coeffs) != len(p.Objective) {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(con.Coeffs), len(p.Objective))
+		}
+		if con.Rel != LE && con.Rel != EQ && con.Rel != GE {
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, int(con.Rel))
+		}
+		for j, a := range con.Coeffs {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %v", i, j, a)
+			}
+		}
+		if math.IsNaN(con.RHS) {
+			return fmt.Errorf("lp: constraint %d RHS is NaN", i)
+		}
+		if math.IsInf(con.RHS, 0) && !(con.Rel == LE && con.RHS > 0) && !(con.Rel == GE && con.RHS < 0) {
+			return fmt.Errorf("lp: constraint %d has non-vacuous infinite RHS", i)
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible region.
+	Unbounded
+)
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X is the primal solution (valid only when Status == Optimal).
+	X []float64
+	// Objective is the optimal objective value in the problem's own sense.
+	Objective float64
+	// Dual holds one multiplier per constraint row (valid when Optimal).
+	// Sign convention: for a maximization with ≤ rows the duals are ≥ 0.
+	Dual []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Value returns the objective value of x under the problem's objective,
+// regardless of feasibility.
+func (p *Problem) Value(x []float64) float64 {
+	var v float64
+	for j, c := range p.Objective {
+		v += c * x[j]
+	}
+	return v
+}
+
+// String renders the problem in a compact human-readable form, useful in
+// test failures.
+func (p *Problem) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v\n", p.Sense, p.Objective)
+	for _, c := range p.Constraints {
+		name := c.Name
+		if name != "" {
+			name += ": "
+		}
+		fmt.Fprintf(&b, "  %s%v %s %g\n", name, c.Coeffs, c.Rel, c.RHS)
+	}
+	b.WriteString("  x >= 0")
+	return b.String()
+}

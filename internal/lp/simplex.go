@@ -1,0 +1,528 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the simplex solver. The zero value selects sensible
+// defaults; use DefaultOptions to inspect them.
+type Options struct {
+	// Tol is the feasibility/optimality tolerance. Zero means 1e-9.
+	Tol float64
+	// MaxIter caps total pivots across both phases. Zero means
+	// 200*(rows+cols), which is far beyond what non-degenerate problems
+	// need and serves only as a cycling backstop behind Bland's rule.
+	MaxIter int
+	// BlandAfter switches pivoting from Dantzig's rule to Bland's rule
+	// after this many consecutive degenerate pivots. Zero means 20.
+	BlandAfter int
+}
+
+// DefaultOptions returns the defaults applied for zero Options fields.
+func DefaultOptions() Options {
+	return Options{Tol: 1e-9, MaxIter: 0, BlandAfter: 20}
+}
+
+func (o Options) withDefaults(rows, cols int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.BlandAfter <= 0 {
+		o.BlandAfter = 20
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200 * (rows + cols + 1)
+	}
+	return o
+}
+
+// Solve solves the problem with default options.
+func Solve(p *Problem) (*Solution, error) { return SolveWith(p, Options{}) }
+
+// SolveWith solves the problem with explicit options.
+//
+// The solver is a textbook two-phase dense tableau simplex: phase 1
+// minimizes the sum of artificial variables to find a basic feasible
+// solution (detecting infeasibility), phase 2 optimizes the real objective
+// (detecting unboundedness). Dantzig pricing is used until degeneracy is
+// detected, then Bland's rule guarantees termination.
+func SolveWith(p *Problem, opts Options) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+
+	// Drop vacuous rows (e.g. ≤ +Inf used for the blackhole path's
+	// unlimited bandwidth).
+	rows := make([]Constraint, 0, len(p.Constraints))
+	vacuous := 0
+	for _, c := range p.Constraints {
+		if math.IsInf(c.RHS, 0) {
+			vacuous++
+			continue
+		}
+		rows = append(rows, c)
+	}
+
+	n := p.NumVars()
+	m := len(rows)
+	opts = opts.withDefaults(m, n)
+
+	t := newTableau(p, rows, opts)
+	sol, err := t.solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == Optimal && vacuous > 0 {
+		// Re-expand duals to original constraint indexing.
+		full := make([]float64, len(p.Constraints))
+		k := 0
+		for i, c := range p.Constraints {
+			if math.IsInf(c.RHS, 0) {
+				full[i] = 0
+				continue
+			}
+			full[i] = sol.Dual[k]
+			k++
+		}
+		sol.Dual = full
+	}
+	return sol, nil
+}
+
+// tableau is the dense simplex working state.
+//
+// Column layout: [0,n) structural variables, [n, n+nSlack) slack/surplus,
+// [n+nSlack, n+nSlack+nArt) artificial. The RHS is stored separately.
+type tableau struct {
+	p    *Problem
+	opts Options
+
+	m, n   int // constraint rows, structural variables
+	nSlack int
+	nArt   int
+
+	a     [][]float64 // m rows × totalCols
+	b     []float64   // RHS, kept ≥ 0
+	scale []float64   // row equilibration factors (original row = scale[i] × stored row)
+	basis []int       // basis[i] = column basic in row i
+
+	obj    []float64 // phase-2 objective over all columns (maximization form)
+	sign   float64   // +1 if original sense is Maximize, -1 if Minimize
+	artCol int       // first artificial column
+
+	iters      int
+	degenerate int // consecutive degenerate pivots
+}
+
+func newTableau(p *Problem, rows []Constraint, opts Options) *tableau {
+	n := p.NumVars()
+	m := len(rows)
+	t := &tableau{p: p, opts: opts, m: m, n: n}
+
+	// Count slack and artificial columns. Sign-flip rows with negative RHS
+	// first so b ≥ 0 throughout.
+	type rowPlan struct {
+		coeffs []float64
+		rhs    float64
+		rel    Relation
+	}
+	plans := make([]rowPlan, m)
+	t.scale = make([]float64, m)
+	for i, c := range rows {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		// Row equilibration: divide each row by its largest coefficient
+		// magnitude so rows in wildly different units (bits/s bandwidth
+		// next to unit-scale probabilities) carry comparable weight in
+		// the feasibility test and pivoting.
+		sc := 0.0
+		for _, a := range coeffs {
+			if abs := math.Abs(a); abs > sc {
+				sc = abs
+			}
+		}
+		if abs := math.Abs(rhs); abs > sc {
+			sc = abs
+		}
+		if sc == 0 {
+			sc = 1
+		}
+		inv := 1 / sc
+		for j := range coeffs {
+			coeffs[j] *= inv
+		}
+		rhs *= inv
+		t.scale[i] = sc
+		plans[i] = rowPlan{coeffs, rhs, rel}
+		switch rel {
+		case LE, GE:
+			t.nSlack++
+		}
+	}
+	// Artificials: one per GE and EQ row. LE rows start with their slack
+	// basic, which is feasible because b ≥ 0.
+	for _, pl := range plans {
+		if pl.rel != LE {
+			t.nArt++
+		}
+	}
+
+	total := n + t.nSlack + t.nArt
+	t.artCol = n + t.nSlack
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+
+	slack := n
+	art := t.artCol
+	for i, pl := range plans {
+		row := make([]float64, total)
+		copy(row, pl.coeffs)
+		t.b[i] = pl.rhs
+		switch pl.rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+
+	t.sign = 1
+	if p.Sense == Minimize {
+		t.sign = -1
+	}
+	t.obj = make([]float64, total)
+	for j := 0; j < n; j++ {
+		t.obj[j] = t.sign * p.Objective[j]
+	}
+	return t
+}
+
+func (t *tableau) solve() (*Solution, error) {
+	tol := t.opts.Tol
+
+	if t.nArt > 0 {
+		// Phase 1: maximize -(sum of artificials).
+		phase1 := make([]float64, len(t.obj))
+		for j := t.artCol; j < len(t.obj); j++ {
+			phase1[j] = -1
+		}
+		status, err := t.optimize(phase1, true)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			// Cannot happen: phase-1 objective is bounded above by 0.
+			return nil, fmt.Errorf("lp: internal error: phase 1 unbounded")
+		}
+		var artSum float64
+		for i, col := range t.basis {
+			if col >= t.artCol {
+				artSum += t.b[i]
+			}
+		}
+		if artSum > tol*(1+norm1(t.b)) {
+			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	status, err := t.optimize(t.obj, false)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: t.iters}, nil
+	}
+
+	x := make([]float64, t.n)
+	for i, col := range t.basis {
+		if col < t.n {
+			x[col] = t.b[i]
+		}
+	}
+	// Clamp tiny negatives introduced by roundoff.
+	for j := range x {
+		if x[j] < 0 && x[j] > -tol {
+			x[j] = 0
+		}
+	}
+
+	sol := &Solution{
+		Status:     Optimal,
+		X:          x,
+		Objective:  t.p.Value(x),
+		Dual:       t.extractDuals(),
+		Iterations: t.iters,
+	}
+	return sol, nil
+}
+
+// optimize runs simplex pivots until the reduced costs certify optimality
+// for the given maximization objective, or unboundedness is detected.
+// phase1 restricts leaving-variable preference to kick artificials out.
+func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
+	tol := t.opts.Tol
+	// z holds the current reduced-cost row: obj - cB·B⁻¹A, maintained by
+	// eliminating basic columns.
+	z := make([]float64, len(obj))
+	copy(z, obj)
+	zval := 0.0
+	for i, col := range t.basis {
+		if z[col] != 0 {
+			c := z[col]
+			row := t.a[i]
+			for j := range z {
+				z[j] -= c * row[j]
+			}
+			zval += c * t.b[i]
+		}
+	}
+
+	limit := len(obj)
+	if !phase1 {
+		// Never let artificials re-enter in phase 2.
+		limit = t.artCol
+	}
+
+	for {
+		if t.iters >= t.opts.MaxIter {
+			return 0, fmt.Errorf("lp: iteration limit %d exceeded (cycling?)", t.opts.MaxIter)
+		}
+
+		useBland := t.degenerate >= t.opts.BlandAfter
+		enter := -1
+		if useBland {
+			for j := 0; j < limit; j++ {
+				if z[j] > tol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := tol
+			for j := 0; j < limit; j++ {
+				if z[j] > best {
+					best = z[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+
+		// Ratio test.
+		leave := -1
+		var minRatio float64
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= tol {
+				continue
+			}
+			ratio := t.b[i] / aij
+			if leave < 0 || ratio < minRatio-tol ||
+				(math.Abs(ratio-minRatio) <= tol && t.betterLeave(i, leave, useBland)) {
+				leave = i
+				minRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		if minRatio <= tol {
+			t.degenerate++
+		} else {
+			t.degenerate = 0
+		}
+
+		t.pivot(leave, enter, z)
+		t.iters++
+	}
+}
+
+// betterLeave breaks ratio-test ties. Under Bland's rule the smaller basis
+// column wins (required for the anti-cycling guarantee); otherwise prefer
+// kicking out artificial columns, then the larger pivot element for
+// numerical stability.
+func (t *tableau) betterLeave(cand, cur int, bland bool) bool {
+	if bland {
+		return t.basis[cand] < t.basis[cur]
+	}
+	candArt := t.basis[cand] >= t.artCol
+	curArt := t.basis[cur] >= t.artCol
+	if candArt != curArt {
+		return candArt
+	}
+	return false
+}
+
+// pivot performs a Gauss–Jordan pivot on (leave, enter) and updates the
+// reduced-cost row z in place.
+func (t *tableau) pivot(leave, enter int, z []float64) {
+	prow := t.a[leave]
+	pv := prow[enter]
+	inv := 1 / pv
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.b[leave] *= inv
+	prow[enter] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exact
+		t.b[i] -= f * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -t.opts.Tol {
+			t.b[i] = 0
+		}
+	}
+	f := z[enter]
+	if f != 0 {
+		for j := range z {
+			z[j] -= f * prow[j]
+		}
+		z[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots basic artificial variables (necessarily at
+// value 0 after a feasible phase 1) out of the basis where a non-artificial
+// column with a nonzero entry exists; rows with no such column are
+// redundant and are left with the artificial basic at zero, pinned by
+// excluding artificials from phase-2 entering columns.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artCol {
+			continue
+		}
+		enter := -1
+		for j := 0; j < t.artCol; j++ {
+			if math.Abs(t.a[i][j]) > t.opts.Tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			continue
+		}
+		dummy := make([]float64, len(t.a[i]))
+		t.pivot(i, enter, dummy)
+		t.iters++
+	}
+}
+
+// extractDuals recovers constraint multipliers from the final reduced
+// costs. For row i with slack column s(i): y_i = sign * (c_s - z_s) where
+// c_s = 0, i.e. y_i = -sign*z_s with z recomputed for the phase-2
+// objective; for equality rows (no slack) the dual comes from the
+// artificial column. Duals are reported in the problem's original sense.
+func (t *tableau) extractDuals() []float64 {
+	z := make([]float64, len(t.obj))
+	copy(z, t.obj)
+	for i, col := range t.basis {
+		if z[col] != 0 {
+			c := z[col]
+			row := t.a[i]
+			for j := range z {
+				z[j] -= c * row[j]
+			}
+		}
+	}
+	// Attribute auxiliary columns to original rows by replaying the column
+	// assignment order of newTableau; negative-RHS sign flips are undone
+	// via the per-row flip factor, and row equilibration via scale.
+	duals := make([]float64, t.m)
+	slack := t.n
+	art := t.artCol
+	for i, c := range t.constraintsPlanned() {
+		switch c.rel {
+		case LE:
+			duals[i] = -t.sign * z[slack] * c.flip / t.scale[i]
+			slack++
+		case GE:
+			duals[i] = t.sign * z[slack] * c.flip / t.scale[i]
+			slack++
+			art++
+		case EQ:
+			duals[i] = -t.sign * z[art] * c.flip / t.scale[i]
+			art++
+		}
+	}
+	return duals
+}
+
+type plannedRow struct {
+	rel  Relation
+	flip float64 // -1 if the row was sign-flipped for negative RHS
+}
+
+// constraintsPlanned replays the row normalization done in newTableau so
+// dual extraction can attribute auxiliary columns to original rows.
+func (t *tableau) constraintsPlanned() []plannedRow {
+	out := make([]plannedRow, 0, t.m)
+	for _, c := range t.p.Constraints {
+		if math.IsInf(c.RHS, 0) {
+			continue
+		}
+		pr := plannedRow{rel: c.Rel, flip: 1}
+		if c.RHS < 0 {
+			pr.flip = -1
+			switch c.Rel {
+			case LE:
+				pr.rel = GE
+			case GE:
+				pr.rel = LE
+			default:
+				pr.rel = EQ
+			}
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+func norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"dmc/internal/dist"
+)
+
+// Packet is an opaque unit of transfer; Bytes drives serialization time
+// and Payload carries protocol state.
+type Packet struct {
+	Bytes   int
+	Payload any
+}
+
+// LinkConfig describes one unidirectional point-to-point link.
+type LinkConfig struct {
+	// Name labels the link's random streams and diagnostics.
+	Name string
+	// Bandwidth in bits/s drives serialization delay; 0 or +Inf means
+	// infinite (no serialization).
+	Bandwidth float64
+	// Delay is the propagation delay distribution. Nil means zero delay.
+	Delay dist.Delay
+	// Loss is the per-packet erasure probability (the paper's binary
+	// erasure channel, §IV).
+	Loss float64
+	// LossModel, when non-nil, replaces Loss with a stateful erasure
+	// channel (e.g. *GilbertElliott for §IX-B burst loss). The instance
+	// must be exclusive to this link.
+	LossModel LossModel
+	// QueueLimit bounds the packets buffered awaiting serialization
+	// (drop-tail); 0 means unlimited. Overflow is how Experiment 3's
+	// bandwidth-overestimation loss arises.
+	QueueLimit int
+	// EnforceFIFO clamps each arrival to be no earlier than the previous
+	// one, preventing in-path reordering under random propagation delays
+	// (real IP paths mostly preserve order; §VIII-D relies on it).
+	EnforceFIFO bool
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	// Offered counts packets presented to Send.
+	Offered int
+	// Accepted counts packets that entered the transmit queue.
+	Accepted int
+	// QueueDrops counts drop-tail overflows.
+	QueueDrops int
+	// LossDrops counts random erasures.
+	LossDrops int
+	// Delivered counts packets handed to the receiver.
+	Delivered int
+	// BytesAccepted totals accepted payload sizes.
+	BytesAccepted int64
+	// TotalQueueDelay accumulates time spent waiting behind earlier
+	// packets (excludes own serialization).
+	TotalQueueDelay time.Duration
+	// MaxQueueDelay is the worst single queue wait.
+	MaxQueueDelay time.Duration
+}
+
+// LossRate returns observed erasures over accepted packets.
+func (st LinkStats) LossRate() float64 {
+	if st.Accepted == 0 {
+		return 0
+	}
+	return float64(st.LossDrops) / float64(st.Accepted)
+}
+
+// MeanQueueDelay returns the average wait behind earlier packets.
+func (st LinkStats) MeanQueueDelay() time.Duration {
+	if st.Accepted == 0 {
+		return 0
+	}
+	return st.TotalQueueDelay / time.Duration(st.Accepted)
+}
+
+// Link is a unidirectional lossy bottleneck link feeding a receiver
+// callback.
+type Link struct {
+	sim     *Simulator
+	cfg     LinkConfig
+	rng     *rand.Rand
+	deliver func(Packet)
+
+	busyUntil   time.Duration
+	queued      int
+	lastArrival time.Duration
+	stats       LinkStats
+}
+
+// NewLink creates a link inside sim delivering to the given callback.
+func NewLink(sim *Simulator, cfg LinkConfig, deliver func(Packet)) (*Link, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("netsim: nil simulator")
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("netsim: link %q has no receiver", cfg.Name)
+	}
+	if cfg.Loss < 0 || cfg.Loss > 1 || math.IsNaN(cfg.Loss) {
+		return nil, fmt.Errorf("netsim: link %q loss %v outside [0,1]", cfg.Name, cfg.Loss)
+	}
+	if cfg.Bandwidth < 0 || math.IsNaN(cfg.Bandwidth) {
+		return nil, fmt.Errorf("netsim: link %q bandwidth %v invalid", cfg.Name, cfg.Bandwidth)
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("netsim: link %q queue limit %d negative", cfg.Name, cfg.QueueLimit)
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = dist.Deterministic{}
+	}
+	if cfg.LossModel == nil {
+		cfg.LossModel = BernoulliLoss{P: cfg.Loss}
+	}
+	return &Link{
+		sim:     sim,
+		cfg:     cfg,
+		rng:     sim.RNG("link/" + cfg.Name),
+		deliver: deliver,
+	}, nil
+}
+
+// Send offers a packet to the link. It returns false if the transmit
+// queue is full (drop-tail). Loss en route is not reported to the sender —
+// the erasure-channel semantics of §IV.
+func (l *Link) Send(pkt Packet) bool {
+	l.stats.Offered++
+	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+		l.stats.QueueDrops++
+		return false
+	}
+	now := l.sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	queueDelay := start - now
+	serialization := time.Duration(0)
+	if l.cfg.Bandwidth > 0 && !math.IsInf(l.cfg.Bandwidth, 1) {
+		serialization = time.Duration(float64(pkt.Bytes*8) / l.cfg.Bandwidth * float64(time.Second))
+	}
+	l.busyUntil = start + serialization
+	l.queued++
+
+	l.stats.Accepted++
+	l.stats.BytesAccepted += int64(pkt.Bytes)
+	l.stats.TotalQueueDelay += queueDelay
+	if queueDelay > l.stats.MaxQueueDelay {
+		l.stats.MaxQueueDelay = queueDelay
+	}
+
+	lost := l.cfg.LossModel.Lost(l.rng)
+	departAt := l.busyUntil
+	l.sim.Schedule(departAt-now, func() {
+		l.queued--
+		if lost {
+			l.stats.LossDrops++
+			return
+		}
+		arrival := departAt + l.cfg.Delay.Sample(l.rng)
+		if l.cfg.EnforceFIFO && arrival < l.lastArrival {
+			arrival = l.lastArrival
+		}
+		l.lastArrival = arrival
+		l.sim.Schedule(arrival-departAt, func() {
+			l.stats.Delivered++
+			l.deliver(pkt)
+		})
+	})
+	return true
+}
+
+// QueueLen reports packets accepted but not yet fully serialized.
+func (l *Link) QueueLen() int { return l.queued }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// LossModel decides, per packet, whether the erasure channel drops it.
+// Implementations may be stateful (burst models); a LossModel instance
+// must not be shared between links.
+type LossModel interface {
+	// Lost draws the fate of one packet.
+	Lost(rng *rand.Rand) bool
+	// Rate returns the long-run average loss probability.
+	Rate() float64
+}
+
+// BernoulliLoss drops packets independently — the paper's §IV binary
+// erasure channel.
+type BernoulliLoss struct {
+	P float64
+}
+
+var _ LossModel = BernoulliLoss{}
+
+// Lost draws one i.i.d. Bernoulli erasure.
+func (b BernoulliLoss) Lost(rng *rand.Rand) bool { return rng.Float64() < b.P }
+
+// Rate returns P.
+func (b BernoulliLoss) Rate() float64 { return b.P }
+
+// GilbertElliott is the classic two-state Markov burst-loss channel. The
+// paper's §IX-B notes that real losses are correlated "even when as
+// little as 10% of capacity is used" [31]; this model lets experiments
+// quantify how burstiness affects the memoryless-loss optimizer.
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-packet state transition
+	// probabilities.
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are per-state erasure probabilities
+	// (classically ≈0 and ≈1).
+	LossGood, LossBad float64
+
+	bad bool
+}
+
+var _ LossModel = (*GilbertElliott)(nil)
+
+// NewGilbertElliott validates and builds a burst-loss channel starting in
+// the good state.
+func NewGilbertElliott(pGoodToBad, pBadToGood, lossGood, lossBad float64) (*GilbertElliott, error) {
+	for _, p := range []float64{pGoodToBad, pBadToGood, lossGood, lossBad} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("netsim: Gilbert-Elliott parameter %v outside [0,1]", p)
+		}
+	}
+	if pGoodToBad > 0 && pBadToGood == 0 {
+		return nil, fmt.Errorf("netsim: Gilbert-Elliott bad state is absorbing (PBadToGood = 0)")
+	}
+	return &GilbertElliott{
+		PGoodToBad: pGoodToBad,
+		PBadToGood: pBadToGood,
+		LossGood:   lossGood,
+		LossBad:    lossBad,
+	}, nil
+}
+
+// Lost advances the channel one packet and draws its fate.
+func (g *GilbertElliott) Lost(rng *rand.Rand) bool {
+	if g.bad {
+		if rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.PGoodToBad {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return rng.Float64() < p
+}
+
+// Rate returns the stationary average loss probability
+// π_bad·LossBad + π_good·LossGood.
+func (g *GilbertElliott) Rate() float64 {
+	den := g.PGoodToBad + g.PBadToGood
+	if den == 0 {
+		return g.LossGood // never leaves the good state
+	}
+	piBad := g.PGoodToBad / den
+	return piBad*g.LossBad + (1-piBad)*g.LossGood
+}
+
+// MeanBurstLength returns the expected number of consecutive packets
+// spent in the bad state once entered (1/PBadToGood).
+func (g *GilbertElliott) MeanBurstLength() float64 {
+	if g.PBadToGood == 0 {
+		return math.Inf(1)
+	}
+	return 1 / g.PBadToGood
+}

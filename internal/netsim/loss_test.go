@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBernoulliLossRate(t *testing.T) {
+	b := BernoulliLoss{P: 0.2}
+	if b.Rate() != 0.2 {
+		t.Errorf("Rate = %v", b.Rate())
+	}
+	rng := NewSimulator(1).RNG("bern")
+	lost := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if b.Lost(rng) {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-0.2) > 0.01 {
+		t.Errorf("observed %v, want ≈0.2", got)
+	}
+}
+
+func TestGilbertElliottStationaryRate(t *testing.T) {
+	// π_bad = 0.02/(0.02+0.18) = 0.1; rate = 0.1·0.8 + 0.9·0.005 = 0.0845.
+	g, err := NewGilbertElliott(0.02, 0.18, 0.005, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1*0.8 + 0.9*0.005
+	if math.Abs(g.Rate()-want) > 1e-12 {
+		t.Errorf("Rate = %v, want %v", g.Rate(), want)
+	}
+	rng := NewSimulator(2).RNG("ge")
+	lost := 0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		if g.Lost(rng) {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-want) > 0.005 {
+		t.Errorf("observed %v, want ≈%v", got, want)
+	}
+	if mb := g.MeanBurstLength(); math.Abs(mb-1/0.18) > 1e-12 {
+		t.Errorf("MeanBurstLength = %v", mb)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// Same average rate as a Bernoulli channel, but losses must cluster:
+	// the mean run length of consecutive losses is clearly longer.
+	g, err := NewGilbertElliott(0.01, 0.09, 0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := g.Rate() // 0.1·0.9 = 0.09
+	runLen := func(lost func() bool) float64 {
+		runs, total, cur := 0, 0, 0
+		for i := 0; i < 200000; i++ {
+			if lost() {
+				cur++
+			} else if cur > 0 {
+				runs++
+				total += cur
+				cur = 0
+			}
+		}
+		if runs == 0 {
+			return 0
+		}
+		return float64(total) / float64(runs)
+	}
+	rngG := NewSimulator(3).RNG("g")
+	rngB := NewSimulator(3).RNG("b")
+	b := BernoulliLoss{P: rate}
+	geRun := runLen(func() bool { return g.Lost(rngG) })
+	bRun := runLen(func() bool { return b.Lost(rngB) })
+	if geRun < 2*bRun {
+		t.Errorf("GE run length %v not clearly burstier than Bernoulli %v", geRun, bRun)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	cases := [][4]float64{
+		{-0.1, 0.5, 0, 1},
+		{0.5, 1.5, 0, 1},
+		{0.5, 0.5, -1, 1},
+		{0.5, 0.5, 0, 2},
+		{math.NaN(), 0.5, 0, 1},
+		{0.5, 0, 0, 1}, // absorbing bad state
+	}
+	for i, c := range cases {
+		if _, err := NewGilbertElliott(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("case %d accepted: %v", i, c)
+		}
+	}
+	// Degenerate but valid: never leaves good.
+	g, err := NewGilbertElliott(0, 0, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate() != 0.05 {
+		t.Errorf("good-only rate = %v", g.Rate())
+	}
+	if !math.IsInf((&GilbertElliott{}).MeanBurstLength(), 1) {
+		t.Error("zero recovery should mean infinite burst")
+	}
+}
+
+func TestLinkWithGilbertElliott(t *testing.T) {
+	sim := NewSimulator(9)
+	delivered := 0
+	g, err := NewGilbertElliott(0.05, 0.25, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLink(sim, LinkConfig{Name: "burst", LossModel: g}, func(Packet) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		l.Send(Packet{Bytes: 100})
+	}
+	sim.Run()
+	want := g.Rate() // π_bad = 0.05/0.30 = 1/6
+	got := float64(n-delivered) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("burst link loss %v, want ≈%v", got, want)
+	}
+}

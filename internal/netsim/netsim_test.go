@@ -1,0 +1,322 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dmc/internal/dist"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 10) }) // FIFO at same time
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	if n := s.Run(); n != 4 {
+		t.Fatalf("ran %d events, want 4", n)
+	}
+	want := []int{1, 10, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestScheduleNestedAndNegative(t *testing.T) {
+	s := NewSimulator(1)
+	var hits []time.Duration
+	s.Schedule(5*time.Millisecond, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(-time.Second, func() { hits = append(hits, s.Now()) }) // clamps to now
+		s.Schedule(5*time.Millisecond, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 3 || hits[0] != 5*time.Millisecond || hits[1] != 5*time.Millisecond || hits[2] != 10*time.Millisecond {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewSimulator(1)
+	fired := false
+	tm := s.Schedule(10*time.Millisecond, func() { fired = true })
+	if !tm.Cancel() {
+		t.Error("first Cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should fail")
+	}
+	s.Run()
+	if fired {
+		t.Error("canceled timer fired")
+	}
+	// Cancel after firing fails.
+	tm2 := s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	if tm2.Cancel() {
+		t.Error("Cancel after firing should fail")
+	}
+	var nilTimer *Timer
+	if nilTimer.Cancel() {
+		t.Error("nil timer Cancel should fail")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	if n := s.RunUntil(5 * time.Second); n != 5 {
+		t.Errorf("ran %d, want 5", n)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", s.Pending())
+	}
+	// Advancing to a quiet deadline moves the clock.
+	s.RunUntil(20 * time.Second)
+	if s.Now() != 20*time.Second || count != 10 {
+		t.Errorf("Now = %v count = %d", s.Now(), count)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewSimulator(42).RNG("x")
+	b := NewSimulator(42).RNG("x")
+	c := NewSimulator(42).RNG("y")
+	d := NewSimulator(43).RNG("x")
+	sameXY, sameSeed := true, true
+	for i := 0; i < 100; i++ {
+		av := a.Float64()
+		if av != b.Float64() {
+			t.Fatal("same seed+name diverged")
+		}
+		if av != c.Float64() {
+			sameXY = false
+		}
+		if av != d.Float64() {
+			sameSeed = false
+		}
+	}
+	if sameXY {
+		t.Error("different names produced identical streams")
+	}
+	if sameSeed {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func mustLink(t *testing.T, s *Simulator, cfg LinkConfig, deliver func(Packet)) *Link {
+	t.Helper()
+	l, err := NewLink(s, cfg, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	s := NewSimulator(1)
+	var arrivals []time.Duration
+	l := mustLink(t, s, LinkConfig{
+		Name:      "l",
+		Bandwidth: 8000, // 1000 bytes/s
+		Delay:     dist.Deterministic{D: 100 * time.Millisecond},
+	}, func(Packet) { arrivals = append(arrivals, s.Now()) })
+
+	// Two 100-byte packets sent back to back: serialization 100 ms each.
+	l.Send(Packet{Bytes: 100})
+	l.Send(Packet{Bytes: 100})
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d, want 2", len(arrivals))
+	}
+	if arrivals[0] != 200*time.Millisecond {
+		t.Errorf("first arrival %v, want 200ms (100 serialization + 100 propagation)", arrivals[0])
+	}
+	if arrivals[1] != 300*time.Millisecond {
+		t.Errorf("second arrival %v, want 300ms (queued behind first)", arrivals[1])
+	}
+	st := l.Stats()
+	if st.MeanQueueDelay() != 50*time.Millisecond || st.MaxQueueDelay != 100*time.Millisecond {
+		t.Errorf("queue delay stats wrong: %+v", st)
+	}
+	if st.BytesAccepted != 200 || st.Delivered != 2 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestLinkInfiniteBandwidth(t *testing.T) {
+	s := NewSimulator(1)
+	var got time.Duration
+	l := mustLink(t, s, LinkConfig{Name: "inf", Delay: dist.Deterministic{D: 5 * time.Millisecond}},
+		func(Packet) { got = s.Now() })
+	l.Send(Packet{Bytes: 1 << 20})
+	s.Run()
+	if got != 5*time.Millisecond {
+		t.Errorf("arrival %v, want 5ms (no serialization)", got)
+	}
+}
+
+func TestLinkQueueOverflow(t *testing.T) {
+	s := NewSimulator(1)
+	delivered := 0
+	l := mustLink(t, s, LinkConfig{
+		Name:       "q",
+		Bandwidth:  8000,
+		QueueLimit: 3,
+	}, func(Packet) { delivered++ })
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(Packet{Bytes: 100}) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Errorf("accepted %d, want 3", accepted)
+	}
+	st := l.Stats()
+	if st.QueueDrops != 7 || st.Offered != 10 {
+		t.Errorf("stats: %+v", st)
+	}
+	if l.QueueLen() != 3 {
+		t.Errorf("QueueLen = %d", l.QueueLen())
+	}
+	s.Run()
+	if delivered != 3 || l.QueueLen() != 0 {
+		t.Errorf("delivered %d queue %d", delivered, l.QueueLen())
+	}
+}
+
+func TestLinkLossRateConverges(t *testing.T) {
+	s := NewSimulator(99)
+	delivered := 0
+	l := mustLink(t, s, LinkConfig{Name: "lossy", Loss: 0.2}, func(Packet) { delivered++ })
+	const n = 50000
+	for i := 0; i < n; i++ {
+		l.Send(Packet{Bytes: 100})
+	}
+	s.Run()
+	got := float64(n-delivered) / n
+	if math.Abs(got-0.2) > 0.01 {
+		t.Errorf("loss rate %v, want ≈0.2", got)
+	}
+	if lr := l.Stats().LossRate(); math.Abs(lr-got) > 1e-12 {
+		t.Errorf("LossRate() = %v, observed %v", lr, got)
+	}
+}
+
+func TestLinkRandomDelayAndFIFO(t *testing.T) {
+	mk := func(fifo bool) (reordered int) {
+		s := NewSimulator(7)
+		var last time.Duration
+		var lastSeq = -1
+		l := mustLink(t, s, LinkConfig{
+			Name:        "jitter",
+			Delay:       dist.ShiftedGamma{Loc: 10 * time.Millisecond, Shape: 2, Scale: 5 * time.Millisecond},
+			EnforceFIFO: fifo,
+		}, func(p Packet) {
+			seq := p.Payload.(int)
+			if seq < lastSeq {
+				reordered++
+			}
+			lastSeq = seq
+			if s.Now() < last {
+				t.Error("simulator time went backwards")
+			}
+			last = s.Now()
+		})
+		for i := 0; i < 2000; i++ {
+			i := i
+			s.Schedule(time.Duration(i)*time.Millisecond/4, func() {
+				l.Send(Packet{Bytes: 100, Payload: i})
+			})
+		}
+		s.Run()
+		return reordered
+	}
+	if r := mk(false); r == 0 {
+		t.Error("expected some reordering with gamma jitter and no FIFO clamp")
+	}
+	if r := mk(true); r != 0 {
+		t.Errorf("FIFO clamp leaked %d reorderings", r)
+	}
+}
+
+func TestLinkStatsZeroValues(t *testing.T) {
+	var st LinkStats
+	if st.LossRate() != 0 || st.MeanQueueDelay() != 0 {
+		t.Error("zero-value stats should be zero")
+	}
+}
+
+func TestNewLinkErrors(t *testing.T) {
+	s := NewSimulator(1)
+	ok := func(Packet) {}
+	cases := []LinkConfig{
+		{Name: "badloss", Loss: -0.1},
+		{Name: "badloss2", Loss: 1.5},
+		{Name: "badloss3", Loss: math.NaN()},
+		{Name: "badbw", Bandwidth: -5},
+		{Name: "badq", QueueLimit: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := NewLink(s, cfg, ok); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewLink(s, LinkConfig{Name: "nilrecv"}, nil); err == nil {
+		t.Error("nil receiver accepted")
+	}
+	if _, err := NewLink(nil, LinkConfig{Name: "nilsim"}, ok); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	l, err := NewLink(s, LinkConfig{Name: "cfg", Bandwidth: 1000}, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Config().Name != "cfg" {
+		t.Error("Config() wrong")
+	}
+}
+
+// TestLinkSaturationQueueingDelay reproduces the §VII observation that a
+// near-saturated link develops tens of ms of queueing delay.
+func TestLinkSaturationQueueingDelay(t *testing.T) {
+	s := NewSimulator(3)
+	l := mustLink(t, s, LinkConfig{
+		Name:      "sat",
+		Bandwidth: 20e6,
+		Delay:     dist.Deterministic{D: 100 * time.Millisecond},
+	}, func(Packet) {})
+	// Offer 19.9 Mbps of 1024-byte packets with Poisson arrivals:
+	// M/D/1 at ρ ≈ 0.995 develops queue waits of tens of ms.
+	bitsPerPacket := 1024.0 * 8
+	meanGap := bitsPerPacket / 19.9e6 * float64(time.Second)
+	rng := s.RNG("arrivals")
+	tm := time.Duration(0)
+	for i := 0; i < 20000; i++ {
+		tm += time.Duration(rng.ExpFloat64() * meanGap)
+		at := tm
+		s.Schedule(at, func() { l.Send(Packet{Bytes: 1024}) })
+	}
+	s.Run()
+	st := l.Stats()
+	if st.MaxQueueDelay < 2*time.Millisecond {
+		t.Errorf("max queue delay %v suspiciously low for 99.5%% utilization", st.MaxQueueDelay)
+	}
+	if st.MeanQueueDelay() <= 0 {
+		t.Error("no queueing at 99.5% utilization")
+	}
+}

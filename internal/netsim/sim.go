@@ -1,0 +1,157 @@
+// Package netsim is a deterministic discrete-event network simulator: the
+// repository's substitute for ns-3 (§VII-A).
+//
+// It provides exactly the primitives the paper's evaluation uses:
+// point-to-point links with configurable bandwidth (serialization delay),
+// propagation delay (fixed or drawn from a distribution), random loss, and
+// finite drop-tail queues whose overflow produces the §VII Experiment 3
+// congestion behaviour. Every random draw derives from a named, seeded
+// stream, so simulations are bit-reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"time"
+)
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	seed   uint64
+}
+
+// NewSimulator returns a simulator at virtual time zero whose random
+// streams all derive from seed.
+func NewSimulator(seed uint64) *Simulator {
+	return &Simulator{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// RNG returns a deterministic random stream derived from the simulator
+// seed and a stream name. Components with distinct names draw from
+// independent streams, so adding a component never perturbs the draws of
+// another.
+func (s *Simulator) RNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", s.seed, name)
+	a := h.Sum64()
+	h.Write([]byte{0x5f})
+	return rand.New(rand.NewPCG(a, h.Sum64()))
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the callback from running; it reports whether the timer
+// was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.done {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Schedule runs fn after delay of virtual time (a non-positive delay runs
+// at the current instant, after already-queued events for that instant).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event; it reports whether one ran.
+func (s *Simulator) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		ev.done = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain, returning the number executed.
+func (s *Simulator) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil processes all events scheduled at or before deadline, then
+// advances the clock to the deadline. It returns the number executed.
+func (s *Simulator) RunUntil(deadline time.Duration) int {
+	n := 0
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		ev.done = true
+		ev.fn()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending reports how many events (including canceled placeholders) are
+// queued.
+func (s *Simulator) Pending() int { return s.events.Len() }
+
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	done     bool
+}
+
+// eventHeap orders by time, then by scheduling order for FIFO stability.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

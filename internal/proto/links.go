@@ -1,0 +1,55 @@
+package proto
+
+import (
+	"dmc/internal/core"
+	"dmc/internal/dist"
+	"dmc/internal/netsim"
+)
+
+// DefaultQueueLimit is the drop-tail buffer used by LinksFromNetwork, in
+// packets. It is sized like a small router buffer: deep enough to absorb
+// scheduler burstiness, shallow enough that sustained over-subscription
+// (Experiment 3's bandwidth overestimation) turns into loss rather than
+// unbounded delay.
+const DefaultQueueLimit = 100
+
+// LinksFromNetwork derives the true forward-link configurations from a
+// network description: each path's bandwidth, loss, and delay (the
+// RandDelay distribution when present, else the fixed delay) become a
+// point-to-point link with a finite drop-tail queue.
+func LinksFromNetwork(n *core.Network, queueLimit int) []netsim.LinkConfig {
+	if queueLimit == 0 {
+		queueLimit = DefaultQueueLimit
+	}
+	if queueLimit < 0 {
+		queueLimit = 0 // explicit "unlimited"
+	}
+	out := make([]netsim.LinkConfig, len(n.Paths))
+	for i, p := range n.Paths {
+		var d dist.Delay = dist.Deterministic{D: p.Delay}
+		if p.RandDelay != nil {
+			d = p.RandDelay
+		}
+		name := p.Name
+		if name == "" {
+			name = "path"
+		}
+		out[i] = netsim.LinkConfig{
+			Name:       name,
+			Bandwidth:  p.Bandwidth,
+			Delay:      d,
+			Loss:       p.Loss,
+			QueueLimit: queueLimit,
+		}
+	}
+	return out
+}
+
+// Run is the one-shot convenience wrapper: build a session and run it.
+func Run(sim *netsim.Simulator, cfg Config) (*Result, error) {
+	s, err := NewSession(sim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,482 @@
+package proto
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/dist"
+	"dmc/internal/netsim"
+	"dmc/internal/sched"
+)
+
+// experiment1Network returns the Table III network with the conservative
+// model delays the paper solves against (450/150 ms).
+func experiment1Network(rateMbps float64, lifetime time.Duration) *core.Network {
+	return core.NewNetwork(rateMbps*core.Mbps, lifetime,
+		core.Path{Name: "path1", Bandwidth: 80 * core.Mbps, Delay: 450 * time.Millisecond, Loss: 0.2},
+		core.Path{Name: "path2", Bandwidth: 20 * core.Mbps, Delay: 150 * time.Millisecond, Loss: 0},
+	)
+}
+
+// experiment1TrueLinks returns the true simulated links: raw propagation
+// delays 400/100 ms (the model's 450/150 include the queueing allowance).
+func experiment1TrueLinks() []netsim.LinkConfig {
+	return []netsim.LinkConfig{
+		{Name: "path1", Bandwidth: 80 * core.Mbps, Delay: dist.Deterministic{D: 400 * time.Millisecond}, Loss: 0.2, QueueLimit: DefaultQueueLimit},
+		{Name: "path2", Bandwidth: 20 * core.Mbps, Delay: dist.Deterministic{D: 100 * time.Millisecond}, Loss: 0, QueueLimit: DefaultQueueLimit},
+	}
+}
+
+// trueTimeouts mirrors §VII Experiment 1: timeouts 100 ms beyond the true
+// ack return time, i.e. tᵢ = dᵢ_true + d_min_true + 100 ms.
+func trueTimeouts(t *testing.T) *core.Timeouts {
+	t.Helper()
+	trueNet := core.NewNetwork(90*core.Mbps, 800*time.Millisecond,
+		core.Path{Bandwidth: 80 * core.Mbps, Delay: 400 * time.Millisecond, Loss: 0.2},
+		core.Path{Bandwidth: 20 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0},
+	)
+	to, err := core.DeterministicTimeouts(trueNet, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return to
+}
+
+func solve(t *testing.T, n *core.Network) *core.Solution {
+	t.Helper()
+	s, err := core.SolveQuality(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runSession(t *testing.T, cfg Config, seed uint64) *Result {
+	t.Helper()
+	sim := netsim.NewSimulator(seed)
+	res, err := Run(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExperiment1SimulationMatchesTheory is the core §VII validation: the
+// simulated quality closely approximates the LP bound. Reduced message
+// count keeps the test fast; the full 100k run lives in cmd/reproduce.
+func TestExperiment1SimulationMatchesTheory(t *testing.T) {
+	for _, tc := range []struct {
+		rateMbps float64
+		wantQ    float64
+	}{
+		{40, 1.0},
+		{90, 14.0 / 15},
+		{120, 0.7},
+	} {
+		n := experiment1Network(tc.rateMbps, 800*time.Millisecond)
+		sol := solve(t, n)
+		if math.Abs(sol.Quality-tc.wantQ) > 1e-9 {
+			t.Fatalf("λ=%v: LP quality %v, want %v", tc.rateMbps, sol.Quality, tc.wantQ)
+		}
+		res := runSession(t, Config{
+			Solution:     sol,
+			Timeouts:     trueTimeouts(t),
+			TruePaths:    experiment1TrueLinks(),
+			MessageCount: 20000,
+		}, 42)
+		if diff := math.Abs(res.Quality() - tc.wantQ); diff > 0.01 {
+			t.Errorf("λ=%v: simulated quality %v vs theory %v (diff %v)\n%v",
+				tc.rateMbps, res.Quality(), tc.wantQ, diff, res)
+		}
+	}
+}
+
+// TestLosslessPathDelivers100 is the trivial sanity case.
+func TestLosslessPathDelivers100(t *testing.T) {
+	n := core.NewNetwork(5*core.Mbps, time.Second,
+		core.Path{Name: "clean", Bandwidth: 10 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0})
+	sol := solve(t, n)
+	res := runSession(t, Config{
+		Solution:     sol,
+		TruePaths:    []netsim.LinkConfig{{Bandwidth: 10 * core.Mbps, Delay: dist.Deterministic{D: 100 * time.Millisecond}}},
+		MessageCount: 2000,
+	}, 7)
+	if res.Quality() != 1 {
+		t.Errorf("quality = %v, want 1\n%v", res.Quality(), res)
+	}
+	if res.Retransmissions != 0 {
+		t.Errorf("unexpected retransmissions: %d", res.Retransmissions)
+	}
+	if res.DeliveredInTime != 2000 || res.Generated != 2000 {
+		t.Errorf("counts wrong: %v", res)
+	}
+}
+
+// TestBlackholedShareMatchesSolution: overload forces deliberate drops in
+// the solved proportion.
+func TestBlackholedShareMatchesSolution(t *testing.T) {
+	n := core.NewNetwork(20*core.Mbps, time.Second,
+		core.Path{Name: "only", Bandwidth: 10 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0})
+	sol := solve(t, n)
+	if math.Abs(sol.Quality-0.5) > 1e-9 {
+		t.Fatalf("LP quality %v, want 0.5", sol.Quality)
+	}
+	res := runSession(t, Config{
+		Solution:     sol,
+		TruePaths:    []netsim.LinkConfig{{Bandwidth: 10 * core.Mbps, Delay: dist.Deterministic{D: 100 * time.Millisecond}}},
+		MessageCount: 10000,
+	}, 9)
+	if got := float64(res.Blackholed) / float64(res.Generated); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("blackholed share %v, want ≈0.5", got)
+	}
+	if diff := math.Abs(res.Quality() - 0.5); diff > 0.01 {
+		t.Errorf("quality %v, want ≈0.5", res.Quality())
+	}
+}
+
+// TestRetransmissionRecoversLoss: a lossy free path with a clean but
+// costly backup must deliver everything via retransmissions — the cost
+// budget covers retransmitting the lost 30 % but not sending everything
+// clean directly, so the LP picks the Figure 1 pattern with real
+// bandwidth slack (no link runs at exactly 100 %).
+func TestRetransmissionRecoversLoss(t *testing.T) {
+	n := core.NewNetwork(4*core.Mbps, time.Second,
+		core.Path{Name: "lossy", Bandwidth: 10 * core.Mbps, Delay: 150 * time.Millisecond, Loss: 0.3},
+		core.Path{Name: "clean", Bandwidth: 2.5 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0, Cost: 1},
+	)
+	n.CostBound = 1.4 * core.Mbps // enough for retransmissions only
+	sol := solve(t, n)
+	if sol.Quality < 1-1e-9 {
+		t.Fatalf("LP quality %v, want 1", sol.Quality)
+	}
+	if f := sol.Fraction(core.Combo{1, 2}); f < 0.9 {
+		t.Fatalf("x_{1,2} = %v, want ≈1 (cost budget forces the retransmission pattern)", f)
+	}
+	to, err := core.DeterministicTimeouts(n, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSession(t, Config{
+		Solution:     sol,
+		Timeouts:     to,
+		TruePaths:    LinksFromNetwork(n, 0),
+		MessageCount: 8000,
+	}, 11)
+	if res.Quality() < 0.995 {
+		t.Errorf("quality = %v, want ≈1\n%v", res.Quality(), res)
+	}
+	if res.Retransmissions == 0 {
+		t.Error("expected retransmissions on a 30% lossy path")
+	}
+}
+
+// singleLossyNetwork forces same-path retransmission: one 20%-lossy path,
+// lifetime admits exactly one retry (combo (1,1), Q = 0.96).
+func singleLossyNetwork() *core.Network {
+	return core.NewNetwork(2*core.Mbps, 500*time.Millisecond,
+		core.Path{Name: "a", Bandwidth: 10 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0.2})
+}
+
+// TestDuplicatesFromConservativeTimeout: a timeout shorter than the RTT
+// causes spurious retransmissions that the server counts as duplicates,
+// but quality must not suffer.
+func TestDuplicatesFromConservativeTimeout(t *testing.T) {
+	n := singleLossyNetwork()
+	sol := solve(t, n)
+	if math.Abs(sol.Quality-0.96) > 1e-9 {
+		t.Fatalf("LP quality %v, want 0.96 (combo (1,1))", sol.Quality)
+	}
+	// Timeout below the 200 ms ack return: every unacked packet
+	// retransmits prematurely.
+	to := core.NewTimeouts(1)
+	to.Set(0, 0, 150*time.Millisecond)
+	res := runSession(t, Config{
+		Solution:     sol,
+		Timeouts:     to,
+		TruePaths:    LinksFromNetwork(n, 0),
+		MessageCount: 5000,
+	}, 13)
+	if res.Duplicates == 0 {
+		t.Error("expected duplicates from premature timeouts")
+	}
+	if res.Quality() < 0.95 {
+		t.Errorf("quality = %v, want ≈0.96 despite duplicates", res.Quality())
+	}
+}
+
+// TestAckVectorRobustToAckLoss: losing acks triggers spurious
+// retransmissions; §VIII-C vector acks recover most of them.
+func TestAckVectorRobustToAckLoss(t *testing.T) {
+	n := singleLossyNetwork()
+	sol := solve(t, n)
+	to, err := core.DeterministicTimeouts(n, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyAck := netsim.LinkConfig{Name: "ack", Bandwidth: 10 * core.Mbps,
+		Delay: dist.Deterministic{D: 100 * time.Millisecond}, Loss: 0.3}
+
+	run := func(window int, seed uint64) *Result {
+		return runSession(t, Config{
+			Solution:     sol,
+			Timeouts:     to,
+			TruePaths:    LinksFromNetwork(n, 0),
+			AckLink:      &lossyAck,
+			AckWindow:    window,
+			MessageCount: 6000,
+		}, seed)
+	}
+	plain := run(0, 17)
+	sack := run(64, 17)
+	if plain.Duplicates == 0 {
+		t.Error("expected duplicates under 30% ack loss")
+	}
+	if sack.Duplicates >= plain.Duplicates/2 {
+		t.Errorf("SACK did not substantially reduce duplicates: %d vs %d", sack.Duplicates, plain.Duplicates)
+	}
+	if sack.Quality() < 0.95 || plain.Quality() < 0.95 {
+		t.Errorf("quality degraded: plain %v sack %v", plain.Quality(), sack.Quality())
+	}
+}
+
+// TestFastRetransmitBeatsBadTimeout: with a wildly overestimated timeout,
+// §VIII-D's duplicate-ack trigger recovers losses the timer would miss.
+func TestFastRetransmitBeatsBadTimeout(t *testing.T) {
+	n := core.NewNetwork(4*core.Mbps, 900*time.Millisecond,
+		core.Path{Name: "lossy", Bandwidth: 10 * core.Mbps, Delay: 150 * time.Millisecond, Loss: 0.3},
+		core.Path{Name: "clean", Bandwidth: 5 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0, Cost: 1},
+	)
+	n.CostBound = 1.4 * core.Mbps // retransmissions affordable, direct sending not
+	sol := solve(t, n)
+	if f := sol.Fraction(core.Combo{1, 2}); f < 0.9 {
+		t.Fatalf("x_{1,2} = %v, want ≈1", f)
+	}
+	// Broken timeout: 2 s, far beyond the 900 ms lifetime.
+	to := core.NewTimeouts(2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			to.Set(i, j, 2*time.Second)
+		}
+	}
+	run := func(dups int, seed uint64) *Result {
+		return runSession(t, Config{
+			Solution:           sol,
+			Timeouts:           to,
+			TruePaths:          LinksFromNetwork(n, 0),
+			FastRetransmitDups: dups,
+			MessageCount:       6000,
+		}, seed)
+	}
+	slow := run(0, 23)
+	fast := run(3, 23)
+	if fast.FastRetransmits == 0 {
+		t.Fatal("fast retransmit never fired")
+	}
+	if fast.Quality() <= slow.Quality()+0.02 {
+		t.Errorf("fast retransmit did not help: %v vs %v", fast.Quality(), slow.Quality())
+	}
+}
+
+// TestSchedulerAblationQuality: Algorithm 1 must do at least as well as
+// the weighted-random baseline on a tight scenario.
+func TestSchedulerAblationQuality(t *testing.T) {
+	n := experiment1Network(90, 800*time.Millisecond)
+	sol := solve(t, n)
+	to := trueTimeouts(t)
+
+	mk := func(sel sched.Selector, seed uint64) *Result {
+		return runSession(t, Config{
+			Solution:     sol,
+			Timeouts:     to,
+			TruePaths:    experiment1TrueLinks(),
+			Selector:     sel,
+			MessageCount: 15000,
+		}, seed)
+	}
+	deficit := mk(nil, 31)
+	sim2 := netsim.NewSimulator(31)
+	wr, err := sched.NewWeightedRandom(sol.X, sim2.RNG("ablation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := mk(wr, 31)
+	if deficit.Quality()+0.005 < random.Quality() {
+		t.Errorf("Algorithm 1 (%v) clearly worse than weighted random (%v)", deficit.Quality(), random.Quality())
+	}
+}
+
+func TestSessionConfigErrors(t *testing.T) {
+	n := experiment1Network(90, 800*time.Millisecond)
+	sol := solve(t, n)
+	links := experiment1TrueLinks()
+	to := trueTimeouts(t)
+	sim := netsim.NewSimulator(1)
+
+	if _, err := NewSession(nil, Config{Solution: sol, Timeouts: to, TruePaths: links}); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := NewSession(sim, Config{Timeouts: to, TruePaths: links}); err == nil {
+		t.Error("nil solution accepted")
+	}
+	if _, err := NewSession(sim, Config{Solution: sol, Timeouts: to, TruePaths: links[:1]}); err == nil {
+		t.Error("mis-sized links accepted")
+	}
+	if _, err := NewSession(sim, Config{Solution: sol, TruePaths: links}); err == nil {
+		t.Error("missing timeouts accepted for retransmitting strategy")
+	}
+	bad := 7
+	if _, err := NewSession(sim, Config{Solution: sol, Timeouts: to, TruePaths: links, AckPathOverride: &bad}); err == nil {
+		t.Error("out-of-range ack path accepted")
+	}
+	if _, err := NewSession(sim, Config{Solution: sol, Timeouts: to, TruePaths: links, MessageCount: -1}); err == nil {
+		t.Error("negative message count accepted")
+	}
+	if _, err := NewSession(sim, Config{Solution: sol, Timeouts: to, TruePaths: links, FastRetransmitDups: -1}); err == nil {
+		t.Error("negative fast-retransmit threshold accepted")
+	}
+
+	s, err := NewSession(sim, Config{Solution: sol, Timeouts: to, TruePaths: links, MessageCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+// TestLatencyHistogram: delivery latency of a fixed-delay path clusters
+// at the propagation delay, with retransmitted messages one timeout
+// later.
+func TestLatencyHistogram(t *testing.T) {
+	n := singleLossyNetwork()
+	sol := solve(t, n)
+	to := core.NewTimeouts(1)
+	to.Set(0, 0, 250*time.Millisecond)
+	res := runSession(t, Config{
+		Solution:     sol,
+		Timeouts:     to,
+		TruePaths:    LinksFromNetwork(n, 0),
+		MessageCount: 5000,
+	}, 41)
+	if res.Latency.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	// p50 ≈ 100 ms (direct arrival, ±bucket resolution + serialization).
+	p50 := res.Latency.Quantile(0.5)
+	if p50 < 95*time.Millisecond || p50 > 112*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈100ms", p50)
+	}
+	// The lossy 20% tail needs a retransmission: ≈ 250+100 ms.
+	p95 := res.Latency.Quantile(0.95)
+	if p95 < 330*time.Millisecond || p95 > 380*time.Millisecond {
+		t.Errorf("p95 = %v, want ≈350ms", p95)
+	}
+	if int(res.Latency.Count()) != res.DeliveredInTime+res.DeliveredLate {
+		t.Errorf("latency count %d vs deliveries %d", res.Latency.Count(), res.DeliveredInTime+res.DeliveredLate)
+	}
+}
+
+// TestThreeTransmissionSession: combos of length 3 drive two chained
+// retransmissions end to end.
+func TestThreeTransmissionSession(t *testing.T) {
+	n := core.NewNetwork(2*core.Mbps, 2*time.Second,
+		core.Path{Name: "a", Bandwidth: 10 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0.4})
+	n.Transmissions = 3
+	sol := solve(t, n)
+	// LP: (1,1,1) delivers 1−0.4³ = 0.936.
+	if math.Abs(sol.Quality-(1-0.4*0.4*0.4)) > 1e-9 {
+		t.Fatalf("LP quality %v", sol.Quality)
+	}
+	to, err := core.DeterministicTimeouts(n, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean ack channel (the paper's §VIII-C assumption): otherwise the
+	// 40% ack loss would add spurious retransmissions on top.
+	ack := LinksFromNetwork(n, 0)[0]
+	ack.Name = "ack"
+	ack.Loss = 0
+	res := runSession(t, Config{
+		Solution:     sol,
+		Timeouts:     to,
+		TruePaths:    LinksFromNetwork(n, 0),
+		AckLink:      &ack,
+		MessageCount: 8000,
+	}, 43)
+	if math.Abs(res.Quality()-sol.Quality) > 0.01 {
+		t.Errorf("sim %v vs model %v", res.Quality(), sol.Quality)
+	}
+	// Retransmissions must include second retries: more than the count of
+	// first-loss events alone can explain is hard to assert exactly, but
+	// the ratio should be near 0.4 + 0.16 = 0.56 of generated.
+	ratio := float64(res.Retransmissions) / float64(res.Generated)
+	if ratio < 0.5 || ratio > 0.62 {
+		t.Errorf("retransmission ratio %v, want ≈0.56", ratio)
+	}
+}
+
+func TestResultStringAndQualityZero(t *testing.T) {
+	var r Result
+	if r.Quality() != 0 {
+		t.Error("zero-value quality should be 0")
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestLinksFromNetwork(t *testing.T) {
+	n := core.NewNetwork(10*core.Mbps, time.Second,
+		core.Path{Name: "g", Bandwidth: 5 * core.Mbps, Loss: 0.1,
+			RandDelay: dist.ShiftedGamma{Loc: 50 * time.Millisecond, Shape: 4, Scale: 2 * time.Millisecond}},
+		core.Path{Bandwidth: 2 * core.Mbps, Delay: 30 * time.Millisecond},
+	)
+	links := LinksFromNetwork(n, 0)
+	if len(links) != 2 {
+		t.Fatal("wrong link count")
+	}
+	if links[0].QueueLimit != DefaultQueueLimit {
+		t.Errorf("default queue limit not applied: %d", links[0].QueueLimit)
+	}
+	if _, ok := links[0].Delay.(dist.ShiftedGamma); !ok {
+		t.Error("RandDelay not propagated")
+	}
+	if d, ok := links[1].Delay.(dist.Deterministic); !ok || d.D != 30*time.Millisecond {
+		t.Error("fixed delay not propagated")
+	}
+	unlimited := LinksFromNetwork(n, -1)
+	if unlimited[0].QueueLimit != 0 {
+		t.Error("negative queueLimit should mean unlimited")
+	}
+}
+
+// TestDeterministicReplay: same seed, same result — byte for byte.
+func TestDeterministicReplay(t *testing.T) {
+	n := experiment1Network(90, 800*time.Millisecond)
+	sol := solve(t, n)
+	to := trueTimeouts(t)
+	mk := func() *Result {
+		return runSession(t, Config{
+			Solution:     sol,
+			Timeouts:     to,
+			TruePaths:    experiment1TrueLinks(),
+			MessageCount: 5000,
+		}, 99)
+	}
+	a, b := mk(), mk()
+	if *aStats(a) != *aStats(b) {
+		t.Errorf("replays diverged: %v vs %v", a, b)
+	}
+}
+
+// aStats projects the comparable scalar fields.
+func aStats(r *Result) *[10]int {
+	return &[10]int{r.Generated, r.Blackholed, r.Transmissions, r.Retransmissions,
+		r.FastRetransmits, r.Expired, r.DeliveredInTime, r.DeliveredLate,
+		r.Duplicates, r.AcksReceived}
+}

@@ -1,0 +1,423 @@
+// Package ratlp implements an exact simplex solver over math/big rationals.
+//
+// The paper solves its linear programs with CGAL, whose LP solver uses
+// exact multi-precision arithmetic: the solutions in Table IV are exact
+// fractions (5/8, 15/16, 20/27, …). This package reproduces that behaviour:
+// a two-phase primal simplex with Bland's rule (always safe here — exact
+// arithmetic has no tolerance issues, and Bland guarantees termination).
+//
+// It is orders of magnitude slower than the float solver in package lp and
+// is intended for verification and table generation, not hot paths; the
+// solver-ablation benchmark quantifies the gap.
+package ratlp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"dmc/internal/lp"
+)
+
+// Rat is a convenience constructor for an exact rational num/den.
+func Rat(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+// Int is a convenience constructor for an exact integer rational.
+func Int(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }
+
+// Constraint is a single exact linear constraint Coeffs·x Rel RHS.
+// A nil RHS marks a vacuous row (the float solver's ≤ +Inf), which is
+// skipped; this encodes the blackhole path's unlimited bandwidth.
+type Constraint struct {
+	Coeffs []*big.Rat
+	Rel    lp.Relation
+	RHS    *big.Rat
+	Name   string
+}
+
+// Problem is an exact linear program over non-negative variables.
+type Problem struct {
+	Sense       lp.Sense
+	Objective   []*big.Rat
+	Constraints []Constraint
+}
+
+// NewProblem returns an exact problem with the given sense and objective.
+// The objective slice is copied (shallow: the *big.Rat values are shared
+// and must not be mutated by the caller afterwards).
+func NewProblem(sense lp.Sense, objective []*big.Rat) *Problem {
+	obj := make([]*big.Rat, len(objective))
+	copy(obj, objective)
+	return &Problem{Sense: sense, Objective: obj}
+}
+
+// NumVars reports the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// AddConstraint appends coeffs·x rel rhs. Pass rhs == nil for a vacuous
+// (unbounded) row.
+func (p *Problem) AddConstraint(coeffs []*big.Rat, rel lp.Relation, rhs *big.Rat) {
+	c := make([]*big.Rat, len(coeffs))
+	copy(c, coeffs)
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: c, Rel: rel, RHS: rhs})
+}
+
+// Solution is the exact result of solving a Problem.
+type Solution struct {
+	Status lp.Status
+	// X is the exact primal solution (valid only when Status == Optimal).
+	X []*big.Rat
+	// Objective is the exact optimal value in the problem's own sense.
+	Objective *big.Rat
+	// Iterations counts pivots across both phases.
+	Iterations int
+}
+
+// Value returns the exact objective value at x.
+func (p *Problem) Value(x []*big.Rat) *big.Rat {
+	v := new(big.Rat)
+	term := new(big.Rat)
+	for j, c := range p.Objective {
+		v.Add(v, term.Mul(c, x[j]))
+	}
+	return v
+}
+
+func (p *Problem) validate() error {
+	if p.Sense != lp.Maximize && p.Sense != lp.Minimize {
+		return fmt.Errorf("ratlp: invalid sense %d", int(p.Sense))
+	}
+	if len(p.Objective) == 0 {
+		return errors.New("ratlp: problem has no variables")
+	}
+	for j, c := range p.Objective {
+		if c == nil {
+			return fmt.Errorf("ratlp: objective coefficient %d is nil", j)
+		}
+	}
+	for i, con := range p.Constraints {
+		if len(con.Coeffs) != len(p.Objective) {
+			return fmt.Errorf("ratlp: constraint %d has %d coefficients, want %d", i, len(con.Coeffs), len(p.Objective))
+		}
+		for j, a := range con.Coeffs {
+			if a == nil {
+				return fmt.Errorf("ratlp: constraint %d coefficient %d is nil", i, j)
+			}
+		}
+		if con.Rel != lp.LE && con.Rel != lp.EQ && con.Rel != lp.GE {
+			return fmt.Errorf("ratlp: constraint %d has invalid relation %d", i, int(con.Rel))
+		}
+		if con.RHS == nil && con.Rel != lp.LE {
+			return fmt.Errorf("ratlp: constraint %d: nil (infinite) RHS only valid for <= rows", i)
+		}
+	}
+	return nil
+}
+
+// Solve solves the exact LP. Unlike the float solver there are no options:
+// Bland's rule is always used and exactness removes every tolerance.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rows := make([]Constraint, 0, len(p.Constraints))
+	for _, c := range p.Constraints {
+		if c.RHS == nil {
+			continue
+		}
+		rows = append(rows, c)
+	}
+	t := newTableau(p, rows)
+	return t.solve()
+}
+
+type tableau struct {
+	p      *Problem
+	m, n   int
+	nSlack int
+	nArt   int
+	artCol int
+
+	a     [][]*big.Rat
+	b     []*big.Rat
+	basis []int
+
+	obj   []*big.Rat // maximization objective over all columns
+	neg   bool       // true if original sense was Minimize
+	iters int
+}
+
+func newTableau(p *Problem, rows []Constraint) *tableau {
+	n := p.NumVars()
+	m := len(rows)
+	t := &tableau{p: p, m: m, n: n}
+
+	type rowPlan struct {
+		coeffs []*big.Rat
+		rhs    *big.Rat
+		rel    lp.Relation
+	}
+	plans := make([]rowPlan, m)
+	zero := new(big.Rat)
+	for i, c := range rows {
+		coeffs := make([]*big.Rat, n)
+		for j, a := range c.Coeffs {
+			coeffs[j] = new(big.Rat).Set(a)
+		}
+		rhs := new(big.Rat).Set(c.RHS)
+		rel := c.Rel
+		if rhs.Cmp(zero) < 0 {
+			for j := range coeffs {
+				coeffs[j].Neg(coeffs[j])
+			}
+			rhs.Neg(rhs)
+			switch rel {
+			case lp.LE:
+				rel = lp.GE
+			case lp.GE:
+				rel = lp.LE
+			}
+		}
+		plans[i] = rowPlan{coeffs, rhs, rel}
+		if rel == lp.LE || rel == lp.GE {
+			t.nSlack++
+		}
+		if rel != lp.LE {
+			t.nArt++
+		}
+	}
+
+	total := n + t.nSlack + t.nArt
+	t.artCol = n + t.nSlack
+	t.a = make([][]*big.Rat, m)
+	t.b = make([]*big.Rat, m)
+	t.basis = make([]int, m)
+
+	slack := n
+	art := t.artCol
+	for i, pl := range plans {
+		row := make([]*big.Rat, total)
+		for j := 0; j < n; j++ {
+			row[j] = pl.coeffs[j]
+		}
+		for j := n; j < total; j++ {
+			row[j] = new(big.Rat)
+		}
+		t.b[i] = pl.rhs
+		switch pl.rel {
+		case lp.LE:
+			row[slack].SetInt64(1)
+			t.basis[i] = slack
+			slack++
+		case lp.GE:
+			row[slack].SetInt64(-1)
+			slack++
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		case lp.EQ:
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+
+	t.neg = p.Sense == lp.Minimize
+	t.obj = make([]*big.Rat, total)
+	for j := range t.obj {
+		t.obj[j] = new(big.Rat)
+	}
+	for j := 0; j < n; j++ {
+		t.obj[j].Set(p.Objective[j])
+		if t.neg {
+			t.obj[j].Neg(t.obj[j])
+		}
+	}
+	return t
+}
+
+func (t *tableau) solve() (*Solution, error) {
+	zero := new(big.Rat)
+	if t.nArt > 0 {
+		phase1 := make([]*big.Rat, len(t.obj))
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+			if j >= t.artCol {
+				phase1[j].SetInt64(-1)
+			}
+		}
+		status, err := t.optimize(phase1, true)
+		if err != nil {
+			return nil, err
+		}
+		if status != lp.Optimal {
+			return nil, errors.New("ratlp: internal error: phase 1 not optimal")
+		}
+		for i, col := range t.basis {
+			if col >= t.artCol && t.b[i].Cmp(zero) != 0 {
+				return &Solution{Status: lp.Infeasible, Iterations: t.iters}, nil
+			}
+		}
+		t.driveOutArtificials()
+	}
+
+	status, err := t.optimize(t.obj, false)
+	if err != nil {
+		return nil, err
+	}
+	if status == lp.Unbounded {
+		return &Solution{Status: lp.Unbounded, Iterations: t.iters}, nil
+	}
+
+	x := make([]*big.Rat, t.n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, col := range t.basis {
+		if col < t.n {
+			x[col].Set(t.b[i])
+		}
+	}
+	return &Solution{
+		Status:     lp.Optimal,
+		X:          x,
+		Objective:  t.p.Value(x),
+		Iterations: t.iters,
+	}, nil
+}
+
+func (t *tableau) optimize(obj []*big.Rat, phase1 bool) (lp.Status, error) {
+	zero := new(big.Rat)
+	tmp := new(big.Rat)
+
+	z := make([]*big.Rat, len(obj))
+	for j := range z {
+		z[j] = new(big.Rat).Set(obj[j])
+	}
+	for i, col := range t.basis {
+		if z[col].Cmp(zero) != 0 {
+			c := new(big.Rat).Set(z[col])
+			row := t.a[i]
+			for j := range z {
+				z[j].Sub(z[j], tmp.Mul(c, row[j]))
+			}
+		}
+	}
+
+	limit := len(obj)
+	if !phase1 {
+		limit = t.artCol
+	}
+	// Exact arithmetic + Bland's rule: termination is guaranteed, but keep
+	// a generous backstop against implementation bugs.
+	maxIter := 2000 * (t.m + len(obj) + 1)
+
+	ratio := new(big.Rat)
+	best := new(big.Rat)
+	for {
+		if t.iters >= maxIter {
+			return 0, fmt.Errorf("ratlp: iteration limit %d exceeded", maxIter)
+		}
+		// Bland: first improving column.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if z[j].Cmp(zero) > 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return lp.Optimal, nil
+		}
+		// Ratio test, ties broken by smallest basis column (Bland).
+		leave := -1
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].Cmp(zero) <= 0 {
+				continue
+			}
+			ratio.Quo(t.b[i], t.a[i][enter])
+			if leave < 0 {
+				leave = i
+				best.Set(ratio)
+				continue
+			}
+			switch ratio.Cmp(best) {
+			case -1:
+				leave = i
+				best.Set(ratio)
+			case 0:
+				if t.basis[i] < t.basis[leave] {
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return lp.Unbounded, nil
+		}
+		t.pivot(leave, enter, z)
+		t.iters++
+	}
+}
+
+func (t *tableau) pivot(leave, enter int, z []*big.Rat) {
+	tmp := new(big.Rat)
+	prow := t.a[leave]
+	inv := new(big.Rat).Inv(prow[enter])
+	for j := range prow {
+		prow[j].Mul(prow[j], inv)
+	}
+	t.b[leave].Mul(t.b[leave], inv)
+	prow[enter].SetInt64(1)
+
+	zero := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f.Cmp(zero) == 0 {
+			continue
+		}
+		fc := new(big.Rat).Set(f)
+		row := t.a[i]
+		for j := range row {
+			row[j].Sub(row[j], tmp.Mul(fc, prow[j]))
+		}
+		row[enter].SetInt64(0)
+		t.b[i].Sub(t.b[i], tmp.Mul(fc, t.b[leave]))
+	}
+	if z[enter].Cmp(zero) != 0 {
+		fc := new(big.Rat).Set(z[enter])
+		for j := range z {
+			z[j].Sub(z[j], tmp.Mul(fc, prow[j]))
+		}
+		z[enter].SetInt64(0)
+	}
+	t.basis[leave] = enter
+}
+
+func (t *tableau) driveOutArtificials() {
+	zero := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artCol {
+			continue
+		}
+		enter := -1
+		for j := 0; j < t.artCol; j++ {
+			if t.a[i][j].Cmp(zero) != 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			continue
+		}
+		dummy := make([]*big.Rat, len(t.a[i]))
+		for j := range dummy {
+			dummy[j] = new(big.Rat)
+		}
+		t.pivot(i, enter, dummy)
+		t.iters++
+	}
+}

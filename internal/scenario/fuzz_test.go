@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadNetwork ensures arbitrary JSON never panics the loader or the
+// model conversion — errors are the only acceptable failure mode.
+func FuzzLoadNetwork(f *testing.F) {
+	f.Add(tableIIIJSON)
+	f.Add(`{"rate_mbps": 1, "lifetime_ms": 1, "paths": [{"bandwidth_mbps": 1}]}`)
+	f.Add(`{"rate_mbps": -5}`)
+	f.Add(`{"paths": [{"delay_gamma": {"loc_ms": -1, "shape": 0, "scale_ms": 0}}]}`)
+	f.Add(`[]`)
+	f.Add(`{"rate_mbps": 1e308, "lifetime_ms": 1e308, "paths": [{"bandwidth_mbps": 1e308, "delay_ms": 1e308}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var n Network
+		if err := Load(strings.NewReader(input), &n); err != nil {
+			return
+		}
+		net, err := n.ToNetwork()
+		if err != nil {
+			return
+		}
+		// A successfully converted network must pass its own validation.
+		if err := net.Validate(); err != nil {
+			t.Fatalf("ToNetwork returned invalid network: %v\ninput: %s", err, input)
+		}
+	})
+}
+
+// FuzzLoadSimulation exercises the full simulation config parser the same
+// way (without running simulations — only parse + convert).
+func FuzzLoadSimulation(f *testing.F) {
+	f.Add(`{"model": ` + tableIIIJSON + `, "messages": 10}`)
+	f.Add(`{"model": {}, "true": {}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var s Simulation
+		if err := Load(strings.NewReader(input), &s); err != nil {
+			return
+		}
+		if _, err := s.Model.ToNetwork(); err != nil {
+			return
+		}
+		if s.True != nil {
+			_, _ = s.True.ToNetwork()
+		}
+	})
+}

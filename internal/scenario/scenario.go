@@ -1,0 +1,217 @@
+// Package scenario defines the JSON schema shared by the CLI tools
+// (cmd/mpopt, cmd/mpsim): network descriptions, solve objectives, and
+// simulation workloads, with conversions to the core model types.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/dist"
+	"dmc/internal/netsim"
+	"dmc/internal/proto"
+)
+
+// Gamma is a shifted-gamma delay specification (Eq. 31).
+type Gamma struct {
+	LocMs   float64 `json:"loc_ms"`
+	Shape   float64 `json:"shape"`
+	ScaleMs float64 `json:"scale_ms"`
+}
+
+// Path describes one path in JSON.
+type Path struct {
+	Name          string  `json:"name,omitempty"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+	DelayMs       float64 `json:"delay_ms,omitempty"`
+	Loss          float64 `json:"loss,omitempty"`
+	Cost          float64 `json:"cost,omitempty"`
+	// DelayGamma, when present, overrides DelayMs with a distribution.
+	DelayGamma *Gamma `json:"delay_gamma,omitempty"`
+}
+
+// Network describes a scenario in JSON.
+type Network struct {
+	RateMbps   float64 `json:"rate_mbps"`
+	LifetimeMs float64 `json:"lifetime_ms"`
+	// CostBound is µ per second; omitted means unlimited.
+	CostBound     *float64 `json:"cost_bound,omitempty"`
+	Transmissions int      `json:"transmissions,omitempty"`
+	Paths         []Path   `json:"paths"`
+}
+
+// ToNetwork converts to the model type.
+func (n Network) ToNetwork() (*core.Network, error) {
+	out := core.NewNetwork(n.RateMbps*core.Mbps, msToDur(n.LifetimeMs))
+	if n.CostBound != nil {
+		out.CostBound = *n.CostBound
+	}
+	out.Transmissions = n.Transmissions
+	for _, p := range n.Paths {
+		cp := core.Path{
+			Name:      p.Name,
+			Bandwidth: p.BandwidthMbps * core.Mbps,
+			Delay:     msToDur(p.DelayMs),
+			Loss:      p.Loss,
+			Cost:      p.Cost,
+		}
+		if g := p.DelayGamma; g != nil {
+			if g.Shape <= 0 || g.ScaleMs <= 0 {
+				return nil, fmt.Errorf("scenario: path %q gamma needs positive shape and scale", p.Name)
+			}
+			cp.RandDelay = dist.ShiftedGamma{
+				Loc:   msToDur(g.LocMs),
+				Shape: g.Shape,
+				Scale: msToDur(g.ScaleMs),
+			}
+			cp.Delay = cp.RandDelay.Mean()
+		}
+		out.Paths = append(out.Paths, cp)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FromNetwork converts a model network back to its JSON form.
+func FromNetwork(n *core.Network) Network {
+	out := Network{
+		RateMbps:      n.Rate / core.Mbps,
+		LifetimeMs:    durToMs(n.Lifetime),
+		Transmissions: n.Transmissions,
+	}
+	if !math.IsInf(n.CostBound, 1) {
+		cb := n.CostBound
+		out.CostBound = &cb
+	}
+	for _, p := range n.Paths {
+		jp := Path{
+			Name:          p.Name,
+			BandwidthMbps: p.Bandwidth / core.Mbps,
+			DelayMs:       durToMs(p.Delay),
+			Loss:          p.Loss,
+			Cost:          p.Cost,
+		}
+		if g, ok := p.RandDelay.(dist.ShiftedGamma); ok {
+			jp.DelayGamma = &Gamma{LocMs: durToMs(g.Loc), Shape: g.Shape, ScaleMs: durToMs(g.Scale)}
+		}
+		out.Paths = append(out.Paths, jp)
+	}
+	return out
+}
+
+// Solve describes a cmd/mpopt request.
+type Solve struct {
+	Network Network `json:"network"`
+	// Objective is "quality" (default), "mincost", or "random" (random-
+	// delay model with optimized timeouts).
+	Objective string `json:"objective,omitempty"`
+	// MinQuality applies to the mincost objective.
+	MinQuality float64 `json:"min_quality,omitempty"`
+}
+
+// Simulation describes a cmd/mpsim request: a model (what the sender
+// believes) and optionally different ground truth.
+type Simulation struct {
+	Model Network `json:"model"`
+	// True overrides the actual network; nil means the model is accurate.
+	True *Network `json:"true,omitempty"`
+	// Messages, MessageBytes, AckBytes default to the paper's workload.
+	Messages     int    `json:"messages,omitempty"`
+	MessageBytes int    `json:"message_bytes,omitempty"`
+	AckBytes     int    `json:"ack_bytes,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	// TimeoutMarginMs pads deterministic timeouts (default 100 ms, §VII).
+	TimeoutMarginMs    *float64 `json:"timeout_margin_ms,omitempty"`
+	QueueLimit         int      `json:"queue_limit,omitempty"`
+	FastRetransmitDups int      `json:"fast_retransmit_dups,omitempty"`
+	AckWindow          int      `json:"ack_window,omitempty"`
+}
+
+// Load parses a JSON document into dst, rejecting unknown fields.
+func Load(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("scenario: parsing JSON: %w", err)
+	}
+	return nil
+}
+
+// Run executes the simulation: solve on the model, run on the truth.
+func (s Simulation) Run() (*proto.Result, *core.Solution, error) {
+	model, err := s.Model.ToNetwork()
+	if err != nil {
+		return nil, nil, err
+	}
+	truth := model
+	if s.True != nil {
+		truth, err = s.True.ToNetwork()
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(truth.Paths) != len(model.Paths) {
+			return nil, nil, errors.New("scenario: true network must have the same path count as the model")
+		}
+	}
+
+	usesRandom := false
+	for _, p := range model.Paths {
+		if p.RandDelay != nil {
+			usesRandom = true
+		}
+	}
+
+	var sol *core.Solution
+	var to *core.Timeouts
+	if usesRandom {
+		to, err = core.OptimalTimeouts(model, core.TimeoutOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		sol, err = core.SolveQualityRandom(model, to)
+	} else {
+		margin := 100 * time.Millisecond
+		if s.TimeoutMarginMs != nil {
+			margin = msToDur(*s.TimeoutMarginMs)
+		}
+		to, err = core.DeterministicTimeouts(truth, margin)
+		if err != nil {
+			return nil, nil, err
+		}
+		sol, err = core.SolveQuality(model)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sim := netsim.NewSimulator(s.Seed)
+	res, err := proto.Run(sim, proto.Config{
+		Solution:           sol,
+		Timeouts:           to,
+		TruePaths:          proto.LinksFromNetwork(truth, s.QueueLimit),
+		MessageCount:       s.Messages,
+		MessageBytes:       s.MessageBytes,
+		AckBytes:           s.AckBytes,
+		FastRetransmitDups: s.FastRetransmitDups,
+		AckWindow:          s.AckWindow,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sol, nil
+}
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func durToMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"dmc/internal/dist"
+)
+
+const tableIIIJSON = `{
+	"rate_mbps": 90,
+	"lifetime_ms": 800,
+	"paths": [
+		{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+		{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+	]
+}`
+
+func TestLoadAndConvert(t *testing.T) {
+	var n Network
+	if err := Load(strings.NewReader(tableIIIJSON), &n); err != nil {
+		t.Fatal(err)
+	}
+	net, err := n.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Rate != 90e6 || net.Lifetime != 800*time.Millisecond {
+		t.Errorf("rate %v lifetime %v", net.Rate, net.Lifetime)
+	}
+	if len(net.Paths) != 2 || net.Paths[0].Loss != 0.2 || net.Paths[1].Delay != 150*time.Millisecond {
+		t.Errorf("paths wrong: %+v", net.Paths)
+	}
+	if !math.IsInf(net.CostBound, 1) {
+		t.Errorf("default cost bound should be unlimited, got %v", net.CostBound)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	var n Network
+	err := Load(strings.NewReader(`{"rate_mbps": 1, "lifetime_ms": 1, "bogus": 2, "paths": []}`), &n)
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestGammaDelayPath(t *testing.T) {
+	var n Network
+	err := Load(strings.NewReader(`{
+		"rate_mbps": 90, "lifetime_ms": 750,
+		"paths": [
+			{"name": "p1", "bandwidth_mbps": 80, "loss": 0.2,
+			 "delay_gamma": {"loc_ms": 400, "shape": 10, "scale_ms": 4}},
+			{"name": "p2", "bandwidth_mbps": 20, "delay_ms": 100}
+		]
+	}`), &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := n.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := net.Paths[0].RandDelay.(dist.ShiftedGamma)
+	if !ok {
+		t.Fatal("gamma delay not built")
+	}
+	if g.Shape != 10 || g.Loc != 400*time.Millisecond {
+		t.Errorf("gamma params wrong: %+v", g)
+	}
+	// Delay field mirrors the mean for estimation paths.
+	if (net.Paths[0].Delay - 440*time.Millisecond).Abs() > time.Millisecond {
+		t.Errorf("delay = %v, want mean 440ms", net.Paths[0].Delay)
+	}
+}
+
+func TestGammaValidation(t *testing.T) {
+	n := Network{RateMbps: 1, LifetimeMs: 100, Paths: []Path{
+		{BandwidthMbps: 1, DelayGamma: &Gamma{LocMs: 10, Shape: 0, ScaleMs: 1}},
+	}}
+	if _, err := n.ToNetwork(); err == nil {
+		t.Error("zero gamma shape accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var n Network
+	if err := Load(strings.NewReader(tableIIIJSON), &n); err != nil {
+		t.Fatal(err)
+	}
+	net, err := n.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromNetwork(net)
+	if back.RateMbps != 90 || back.LifetimeMs != 800 || len(back.Paths) != 2 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if back.Paths[0].BandwidthMbps != 80 || back.Paths[0].Loss != 0.2 {
+		t.Errorf("path fields lost: %+v", back.Paths[0])
+	}
+	if back.CostBound != nil {
+		t.Error("unlimited cost bound should stay omitted")
+	}
+	cb := 5.0
+	n.CostBound = &cb
+	net2, err := n.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2 := FromNetwork(net2)
+	if back2.CostBound == nil || *back2.CostBound != 5 {
+		t.Error("cost bound lost")
+	}
+	// Gamma round trip.
+	gnet := Network{RateMbps: 1, LifetimeMs: 500, Paths: []Path{
+		{BandwidthMbps: 10, DelayGamma: &Gamma{LocMs: 100, Shape: 5, ScaleMs: 2}},
+	}}
+	gn, err := gnet.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gback := FromNetwork(gn)
+	if gback.Paths[0].DelayGamma == nil || gback.Paths[0].DelayGamma.Shape != 5 {
+		t.Error("gamma lost in round trip")
+	}
+}
+
+func TestSimulationRunAccurateModel(t *testing.T) {
+	var sim Simulation
+	// Unsaturated scenario (λ = 15 < b₂ = 20 Mbps) so "model == truth" is
+	// benign: at the LP's usual 100 % utilization, queueing delay makes
+	// an exact model marginal by construction (that regime is what the
+	// paper's padded delays and Experiment 3 address).
+	err := Load(strings.NewReader(`{
+		"model": {
+			"rate_mbps": 15, "lifetime_ms": 800,
+			"paths": [
+				{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+				{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+			]
+		},
+		"messages": 3000,
+		"timeout_margin_ms": 0,
+		"seed": 4
+	}`), &sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sol, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Quality-1) > 1e-9 {
+		t.Errorf("model quality %v, want 1", sol.Quality)
+	}
+	if math.Abs(res.Quality()-sol.Quality) > 0.02 {
+		t.Errorf("sim %v vs model %v", res.Quality(), sol.Quality)
+	}
+}
+
+func TestSimulationRunWithDivergentTruth(t *testing.T) {
+	var sim Simulation
+	err := Load(strings.NewReader(`{
+		"model": `+tableIIIJSON+`,
+		"true": {
+			"rate_mbps": 90, "lifetime_ms": 800,
+			"paths": [
+				{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 400, "loss": 0.2},
+				{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 100}
+			]
+		},
+		"messages": 3000,
+		"seed": 9
+	}`), &sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sol, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Quality()-sol.Quality) > 0.02 {
+		t.Errorf("Experiment 1 setup: sim %v vs model %v", res.Quality(), sol.Quality)
+	}
+}
+
+func TestSimulationRunRandomDelays(t *testing.T) {
+	var sim Simulation
+	err := Load(strings.NewReader(`{
+		"model": {
+			"rate_mbps": 90, "lifetime_ms": 750,
+			"paths": [
+				{"name": "p1", "bandwidth_mbps": 80, "loss": 0.2,
+				 "delay_gamma": {"loc_ms": 400, "shape": 10, "scale_ms": 4}},
+				{"name": "p2", "bandwidth_mbps": 20,
+				 "delay_gamma": {"loc_ms": 100, "shape": 5, "scale_ms": 2}}
+			]
+		},
+		"messages": 4000,
+		"seed": 2
+	}`), &sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sol, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Quality < 0.90 {
+		t.Errorf("model quality %v", sol.Quality)
+	}
+	if math.Abs(res.Quality()-sol.Quality) > 0.04 {
+		t.Errorf("sim %v vs model %v", res.Quality(), sol.Quality)
+	}
+}
+
+func TestSimulationPathCountMismatch(t *testing.T) {
+	var sim Simulation
+	err := Load(strings.NewReader(`{
+		"model": `+tableIIIJSON+`,
+		"true": {"rate_mbps": 90, "lifetime_ms": 800,
+			"paths": [{"bandwidth_mbps": 80, "delay_ms": 400}]},
+		"messages": 10
+	}`), &sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.Run(); err == nil {
+		t.Error("mismatched path count accepted")
+	}
+}
+
+func TestInvalidNetworkPropagates(t *testing.T) {
+	n := Network{RateMbps: -1, LifetimeMs: 100, Paths: []Path{{BandwidthMbps: 1}}}
+	if _, err := n.ToNetwork(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

@@ -1,0 +1,248 @@
+// Package sched discretizes an optimal traffic split x′ into per-packet
+// path-combination decisions.
+//
+// The primary selector is the paper's Algorithm 1: a deficit rule that
+// assigns each packet to the combination lagging furthest behind its ideal
+// share, keeping the realized distribution within one packet of optimal at
+// all times. Baseline selectors (weighted random, weighted round-robin
+// over a precomputed pattern) are provided for the scheduler-ablation
+// experiments.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Selector assigns successive packets to path-combination indices so the
+// long-run distribution approaches a target split.
+type Selector interface {
+	// Select returns the combination index for the next packet.
+	Select() int
+	// Name identifies the strategy in ablation reports.
+	Name() string
+}
+
+// normalizeTarget validates and normalizes a target distribution.
+func normalizeTarget(x []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("sched: empty target distribution")
+	}
+	out := make([]float64, len(x))
+	var sum float64
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sched: target[%d] = %v", i, v)
+		}
+		if v < 0 {
+			if v < -1e-9 {
+				return nil, fmt.Errorf("sched: target[%d] = %v is negative", i, v)
+			}
+			v = 0
+		}
+		out[i] = v
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, errors.New("sched: target distribution sums to zero")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// Deficit implements Algorithm 1. Not safe for concurrent use.
+type Deficit struct {
+	target   []float64
+	assigned []int64
+	total    int64
+}
+
+var _ Selector = (*Deficit)(nil)
+
+// NewDeficit returns an Algorithm 1 selector for the target split x′
+// (normalized copy; x must be non-negative with a positive sum).
+func NewDeficit(x []float64) (*Deficit, error) {
+	t, err := normalizeTarget(x)
+	if err != nil {
+		return nil, err
+	}
+	return &Deficit{target: t, assigned: make([]int64, len(t))}, nil
+}
+
+// Select implements the paper's selectPathCombination(): the first packet
+// goes to the largest share; afterwards each packet goes to the
+// combination minimizing assigned[i]/total − x′ᵢ. Ties break to the lowest
+// index, making the sequence fully deterministic. Unlike the literal
+// pseudocode, combinations with a zero share are never considered: the
+// verbatim argmin would occasionally pick one on a tie (its lag is pinned
+// at 0), assigning a packet to a combination the optimizer ruled out.
+func (d *Deficit) Select() int {
+	res := -1
+	if d.total == 0 {
+		best := math.Inf(-1)
+		for i, v := range d.target {
+			if v > 0 && v > best {
+				best = v
+				res = i
+			}
+		}
+	} else {
+		best := math.Inf(1)
+		tot := float64(d.total)
+		for i, v := range d.target {
+			if v == 0 {
+				continue
+			}
+			if lag := float64(d.assigned[i])/tot - v; lag < best {
+				best = lag
+				res = i
+			}
+		}
+	}
+	d.assigned[res]++
+	d.total++
+	return res
+}
+
+// Name implements Selector.
+func (d *Deficit) Name() string { return "deficit" }
+
+// Assigned returns how many packets combination i has received.
+func (d *Deficit) Assigned(i int) int64 { return d.assigned[i] }
+
+// Total returns the number of packets assigned so far.
+func (d *Deficit) Total() int64 { return d.total }
+
+// MaxDeviation returns max_i |assigned[i] − total·x′ᵢ| in packets — the
+// distance from the ideal fluid split.
+func (d *Deficit) MaxDeviation() float64 {
+	var max float64
+	for i, v := range d.target {
+		dev := math.Abs(float64(d.assigned[i]) - float64(d.total)*v)
+		if dev > max {
+			max = dev
+		}
+	}
+	return max
+}
+
+// WeightedRandom samples combinations i.i.d. from the target split: the
+// natural stateless baseline. Not safe for concurrent use.
+type WeightedRandom struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+var _ Selector = (*WeightedRandom)(nil)
+
+// NewWeightedRandom returns an i.i.d. sampler over x′ driven by rng.
+func NewWeightedRandom(x []float64, rng *rand.Rand) (*WeightedRandom, error) {
+	t, err := normalizeTarget(x)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("sched: nil rng")
+	}
+	cum := make([]float64, len(t))
+	var acc float64
+	for i, v := range t {
+		acc += v
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	return &WeightedRandom{cum: cum, rng: rng}, nil
+}
+
+// Select draws from the target distribution.
+func (w *WeightedRandom) Select() int {
+	u := w.rng.Float64()
+	return sort.SearchFloat64s(w.cum, u)
+}
+
+// Name implements Selector.
+func (w *WeightedRandom) Name() string { return "weighted-random" }
+
+// RoundRobin cycles through a fixed pattern of combination indices built
+// from the target split by largest-remainder apportionment over a window.
+// It is the "static schedule" baseline: good long-run proportions but a
+// bursty short-run pattern. Not safe for concurrent use.
+type RoundRobin struct {
+	pattern []int
+	pos     int
+}
+
+var _ Selector = (*RoundRobin)(nil)
+
+// DefaultRoundRobinWindow is the pattern length used by NewRoundRobin.
+const DefaultRoundRobinWindow = 100
+
+// NewRoundRobin builds a cyclic selector with the given pattern window
+// (≤ 0 selects DefaultRoundRobinWindow).
+func NewRoundRobin(x []float64, window int) (*RoundRobin, error) {
+	t, err := normalizeTarget(x)
+	if err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = DefaultRoundRobinWindow
+	}
+	type slot struct {
+		idx   int
+		count int
+		frac  float64
+	}
+	slots := make([]slot, len(t))
+	used := 0
+	for i, v := range t {
+		exact := v * float64(window)
+		c := int(math.Floor(exact))
+		slots[i] = slot{idx: i, count: c, frac: exact - float64(c)}
+		used += c
+	}
+	sort.SliceStable(slots, func(a, b int) bool { return slots[a].frac > slots[b].frac })
+	for k := 0; used < window && k < len(slots); k++ {
+		slots[k].count++
+		used++
+	}
+	pattern := make([]int, 0, window)
+	// Interleave: repeatedly emit the combination with the largest
+	// remaining quota to avoid long runs of one index.
+	remaining := make([]int, len(t))
+	for _, s := range slots {
+		remaining[s.idx] = s.count
+	}
+	for len(pattern) < window {
+		best, bestQ := -1, -1
+		for i, r := range remaining {
+			if r > bestQ {
+				bestQ = r
+				best = i
+			}
+		}
+		if bestQ <= 0 {
+			break
+		}
+		pattern = append(pattern, best)
+		remaining[best]--
+	}
+	if len(pattern) == 0 {
+		return nil, errors.New("sched: empty round-robin pattern")
+	}
+	return &RoundRobin{pattern: pattern}, nil
+}
+
+// Select returns the next pattern entry.
+func (r *RoundRobin) Select() int {
+	v := r.pattern[r.pos]
+	r.pos = (r.pos + 1) % len(r.pattern)
+	return v
+}
+
+// Name implements Selector.
+func (r *RoundRobin) Name() string { return "round-robin" }

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xdeadbeef)) }
+
+func TestDeficitFirstPickIsArgmax(t *testing.T) {
+	d, err := NewDeficit([]float64{0.2, 0.5, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Select(); got != 1 {
+		t.Errorf("first pick = %d, want 1 (largest share)", got)
+	}
+}
+
+func TestDeficitExactProportions(t *testing.T) {
+	// Rational target: after any multiple of 8 packets the split is exact.
+	d, err := NewDeficit([]float64{5.0 / 8, 3.0 / 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8000; i++ {
+		d.Select()
+	}
+	if d.Assigned(0) != 5000 || d.Assigned(1) != 3000 {
+		t.Errorf("assigned = [%d %d], want [5000 3000]", d.Assigned(0), d.Assigned(1))
+	}
+	if d.Total() != 8000 {
+		t.Errorf("total = %d", d.Total())
+	}
+}
+
+func TestDeficitBoundedDeviation(t *testing.T) {
+	// Algorithm 1 keeps the realized split within a small constant number
+	// of packets of ideal at every prefix (within 1 for two combinations;
+	// slightly above for larger sets — empirically < 2).
+	rng := newRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(12)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		d, err := NewDeficit(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 2.0
+		if n == 2 {
+			bound = 1.0
+		}
+		for k := 0; k < 3000; k++ {
+			d.Select()
+			if dev := d.MaxDeviation(); dev > bound+1e-9 {
+				t.Fatalf("trial %d: deviation %v > %v after %d picks (x=%v)", trial, dev, bound, k+1, x)
+			}
+		}
+	}
+}
+
+func TestDeficitSkipsZeroShares(t *testing.T) {
+	d, err := NewDeficit([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := d.Select(); got != 1 {
+			t.Fatalf("pick %d = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestDeficitDeterministic(t *testing.T) {
+	x := []float64{0.3, 0.3, 0.4}
+	a, _ := NewDeficit(x)
+	b, _ := NewDeficit(x)
+	for i := 0; i < 500; i++ {
+		if a.Select() != b.Select() {
+			t.Fatal("two Deficit selectors diverged")
+		}
+	}
+}
+
+func TestNormalizeTargetErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0},
+		{-0.5, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for i, x := range cases {
+		if _, err := NewDeficit(x); err == nil {
+			t.Errorf("case %d: accepted %v", i, x)
+		}
+	}
+	// Tiny negative roundoff is clamped, not rejected.
+	if _, err := NewDeficit([]float64{-1e-12, 1}); err != nil {
+		t.Errorf("tiny negative rejected: %v", err)
+	}
+	// Unnormalized input is normalized.
+	d, err := NewDeficit([]float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Select()
+	d.Select()
+	if d.Assigned(0) != 1 || d.Assigned(1) != 1 {
+		t.Error("unnormalized target not handled")
+	}
+}
+
+func TestWeightedRandomConverges(t *testing.T) {
+	x := []float64{0.1, 0.6, 0.3}
+	w, err := NewWeightedRandom(x, newRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[w.Select()]++
+	}
+	for i, want := range x {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("share[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedRandomErrors(t *testing.T) {
+	if _, err := NewWeightedRandom([]float64{1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewWeightedRandom(nil, newRNG(1)); err == nil {
+		t.Error("empty target accepted")
+	}
+}
+
+func TestRoundRobinProportions(t *testing.T) {
+	x := []float64{0.25, 0.5, 0.25}
+	r, err := NewRoundRobin(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 8000; i++ {
+		counts[r.Select()]++
+	}
+	if counts[0] != 2000 || counts[1] != 4000 || counts[2] != 2000 {
+		t.Errorf("counts = %v, want [2000 4000 2000]", counts)
+	}
+}
+
+func TestRoundRobinInterleaves(t *testing.T) {
+	// With a 50/50 split the pattern must alternate, not block.
+	r, err := NewRoundRobin([]float64{0.5, 0.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := r.Select()
+	runLen := 1
+	for i := 0; i < 20; i++ {
+		cur := r.Select()
+		if cur == prev {
+			runLen++
+			if runLen > 2 {
+				t.Fatalf("run of %d identical picks in a 50/50 split", runLen)
+			}
+		} else {
+			runLen = 1
+		}
+		prev = cur
+	}
+}
+
+func TestRoundRobinDefaults(t *testing.T) {
+	r, err := NewRoundRobin([]float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Select() != 0 {
+		t.Error("single-target pattern wrong")
+	}
+	if _, err := NewRoundRobin([]float64{0, 0}, 10); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	d, _ := NewDeficit([]float64{1})
+	w, _ := NewWeightedRandom([]float64{1}, newRNG(1))
+	r, _ := NewRoundRobin([]float64{1}, 4)
+	for _, s := range []Selector{d, w, r} {
+		if s.Name() == "" {
+			t.Error("empty selector name")
+		}
+	}
+}
+
+// TestQuickDeficitMatchesTargetLongRun: realized shares converge to the
+// target for arbitrary random targets.
+func TestQuickDeficitMatchesTargetLongRun(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := newRNG(seed)
+		n := 1 + rng.IntN(9)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		var sum float64
+		for _, v := range x {
+			sum += v
+		}
+		if sum == 0 {
+			return true
+		}
+		d, err := NewDeficit(x)
+		if err != nil {
+			return false
+		}
+		const picks = 5000
+		for i := 0; i < picks; i++ {
+			d.Select()
+		}
+		for i := range x {
+			want := x[i] / sum
+			got := float64(d.Assigned(i)) / picks
+			if math.Abs(got-want) > 1.0/picks+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

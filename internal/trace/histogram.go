@@ -1,0 +1,188 @@
+// Package trace provides a compact streaming latency histogram used by
+// the transport to report delivery-latency percentiles without retaining
+// per-message samples.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram accumulates durations into geometrically spaced buckets
+// (HDR-style): ~3.9 % relative resolution over [1µs, ~7min] in a few KB.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [bucketCount]uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	bucketCount = 512
+	// bucketBase is the smallest tracked duration.
+	bucketBase = time.Microsecond
+	// bucketGrowth is the geometric spacing between bucket boundaries:
+	// 1.039^511 · 1µs ≈ 7 minutes of range at ≈3.9 % resolution.
+	bucketGrowth = 1.039
+)
+
+var bucketBounds = func() [bucketCount]time.Duration {
+	var b [bucketCount]time.Duration
+	v := float64(bucketBase)
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= bucketGrowth
+	}
+	return b
+}()
+
+// bucketFor returns the index of the first bucket whose bound is ≥ d;
+// durations beyond the range land in the last bucket.
+func bucketFor(d time.Duration) int {
+	if d <= bucketBase {
+		return 0
+	}
+	idx := int(math.Log(float64(d)/float64(bucketBase)) / math.Log(bucketGrowth))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bucketCount {
+		return bucketCount - 1
+	}
+	for idx < bucketCount-1 && bucketBounds[idx] < d {
+		idx++
+	}
+	return idx
+}
+
+// Observe adds one duration (negatives clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.total == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.total++
+	h.sum += d
+	h.counts[bucketFor(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact average of all observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min and Max return the exact extremes.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the approximate q-quantile (q in [0,1]); resolution is
+// the bucket width (±2.4 %). Out-of-range q values are clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i == bucketCount-1 {
+				// The overflow bucket's bound understates; report the
+				// exact maximum.
+				return h.max
+			}
+			// Clamp bucket bound by the exact extremes for tight tails.
+			v := bucketBounds[i]
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Quantiles formats the classic latency line (p50/p90/p99/max).
+func (h *Histogram) Quantiles() string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		fmt.Fprintf(&b, "%s=%v ", q.label, h.Quantile(q.q).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "max=%v n=%d", h.max.Round(time.Microsecond), h.total)
+	return b.String()
+}
+
+// Buckets returns the non-empty (upper bound, count) pairs, for export.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, Bucket{UpperBound: bucketBounds[i], Count: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].UpperBound < out[b].UpperBound })
+	return out
+}
+
+// Bucket is one exported histogram cell.
+type Bucket struct {
+	UpperBound time.Duration
+	Count      uint64
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value histogram not empty")
+	}
+	if h.Quantiles() != "no samples" {
+		t.Errorf("Quantiles = %q", h.Quantiles())
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; (got - want).Abs() > time.Microsecond {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Median within bucket resolution (±2.5%).
+	med := h.Quantile(0.5)
+	if med < 48*time.Millisecond || med > 53*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈50ms", med)
+	}
+	if h.Quantile(1.0) != 100*time.Millisecond {
+		t.Errorf("p100 = %v", h.Quantile(1.0))
+	}
+	if !strings.Contains(h.Quantiles(), "p99") {
+		t.Errorf("Quantiles = %q", h.Quantiles())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewPCG(1, 2))
+	var exact []time.Duration
+	for i := 0; i < 50000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(20*time.Millisecond))
+		h.Observe(d)
+		exact = append(exact, d)
+	}
+	sortDurations(exact)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := exact[int(q*float64(len(exact)-1))]
+		rel := float64(got-want) / float64(want)
+		if rel < -0.08 || rel > 0.08 { // bucket resolution is ≈3.9 %
+			t.Errorf("q=%v: got %v, want ≈%v (rel %v)", q, got, want, rel)
+		}
+	}
+}
+
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(24 * time.Hour) // beyond last bucket: clamped to top cell
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Quantile(1.0) != 24*time.Hour {
+		t.Errorf("p100 = %v (exact max clamp)", h.Quantile(1.0))
+	}
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("negative q should clamp")
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10 * time.Millisecond)
+		b.Observe(30 * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged count %d", a.Count())
+	}
+	if got, want := a.Mean(), 20*time.Millisecond; (got - want).Abs() > time.Microsecond {
+		t.Errorf("merged mean %v", got)
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 200 {
+		t.Error("empty merge changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 200 || empty.Min() != 10*time.Millisecond {
+		t.Error("merge into empty wrong")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	buckets := h.Buckets()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if buckets[0].Count != 2 || buckets[1].Count != 1 {
+		t.Errorf("bucket counts wrong: %v", buckets)
+	}
+	if buckets[0].UpperBound >= buckets[1].UpperBound {
+		t.Error("buckets unsorted")
+	}
+}
+
+// TestQuickQuantileMonotone: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.IntN(int(time.Second))))
+	}
+	f := func(qa, qb float64) bool {
+		qa = clamp01f(qa)
+		qb = clamp01f(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01f(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
