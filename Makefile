@@ -1,0 +1,40 @@
+# Single source of truth for the build/test/fuzz/bench commands; the CI
+# workflow (.github/workflows/ci.yml) invokes these same targets.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test fuzz-smoke bench-smoke bench ci
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the offenders) when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test -race ./...
+
+# Ten seconds per seed fuzz target. `go test -fuzz` accepts exactly one
+# target per invocation, so each runs separately.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzSolveSmallLP$$' -fuzztime=$(FUZZTIME) ./internal/lp
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadNetwork$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadSimulation$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+
+# One iteration of every benchmark: proves they run, not how fast.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The real benchmark suite (the paper's evaluation artifacts live in
+# bench_test.go at the repo root); compare against BENCH_baseline.json.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1s .
+
+ci: all fuzz-smoke bench-smoke

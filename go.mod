@@ -1,0 +1,3 @@
+module dmc
+
+go 1.24

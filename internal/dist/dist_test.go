@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// All concrete models satisfy Delay (and Sum composes them).
+var (
+	_ Delay = Deterministic{}
+	_ Delay = Uniform{}
+	_ Delay = ShiftedGamma{}
+	_ Delay = (*Sum)(nil)
+)
+
+// checkDelayInvariants verifies the interface contract on a probe grid:
+// CDF in [0,1] and non-decreasing, Tail in [0,1] and non-increasing, and
+// Tail(x) = 1 − CDF(x) wherever both are well-conditioned.
+func checkDelayInvariants(t *testing.T, d Delay, lo, hi time.Duration) {
+	t.Helper()
+	const probes = 400
+	prevCDF, prevTail := -1.0, 2.0
+	for i := 0; i <= probes; i++ {
+		x := lo + time.Duration(int64(i)*int64(hi-lo)/probes)
+		cdf, tail := d.CDF(x), d.Tail(x)
+		if cdf < 0 || cdf > 1 || math.IsNaN(cdf) {
+			t.Fatalf("CDF(%v) = %v outside [0,1]", x, cdf)
+		}
+		if tail < 0 || tail > 1 || math.IsNaN(tail) {
+			t.Fatalf("Tail(%v) = %v outside [0,1]", x, tail)
+		}
+		if cdf < prevCDF-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v after %v", x, cdf, prevCDF)
+		}
+		if tail > prevTail+1e-12 {
+			t.Fatalf("Tail not monotone at %v: %v after %v", x, tail, prevTail)
+		}
+		// Well-conditioned regime: neither end is collapsing to the
+		// float64 resolution of the other.
+		if cdf > 1e-6 && tail > 1e-6 {
+			if diff := math.Abs(tail - (1 - cdf)); diff > 1e-9 {
+				t.Fatalf("Tail(%v) = %v but 1−CDF = %v (diff %v)", x, tail, 1-cdf, diff)
+			}
+		}
+		prevCDF, prevTail = cdf, tail
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{D: 100 * time.Millisecond}
+	checkDelayInvariants(t, d, 0, 300*time.Millisecond)
+	if d.Mean() != 100*time.Millisecond {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.CDF(99*time.Millisecond) != 0 || d.CDF(100*time.Millisecond) != 1 {
+		t.Error("CDF step misplaced")
+	}
+	if d.Tail(100*time.Millisecond) != 0 || d.Tail(99*time.Millisecond) != 1 {
+		t.Error("Tail step misplaced")
+	}
+	if got := d.Sample(nil); got != 100*time.Millisecond {
+		t.Errorf("Sample = %v", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 10 * time.Millisecond, Hi: 30 * time.Millisecond}
+	checkDelayInvariants(t, u, 0, 50*time.Millisecond)
+	if u.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", u.Mean())
+	}
+	if got := u.CDF(15 * time.Millisecond); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(15ms) = %v, want 0.25", got)
+	}
+	if got := u.Tail(25 * time.Millisecond); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Tail(25ms) = %v, want 0.25", got)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := u.Sample(rng)
+		if s < u.Lo || s >= u.Hi {
+			t.Fatalf("sample %v outside [%v, %v)", s, u.Lo, u.Hi)
+		}
+		sum += s
+	}
+	if mean := sum / n; (mean - u.Mean()).Abs() > 200*time.Microsecond {
+		t.Errorf("sample mean %v, want ≈%v", mean, u.Mean())
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := Uniform{Lo: 5 * time.Millisecond, Hi: 5 * time.Millisecond}
+	if u.Mean() != 5*time.Millisecond || u.CDF(5*time.Millisecond) != 1 || u.Tail(5*time.Millisecond) != 0 {
+		t.Error("degenerate Uniform should be a point mass at Lo")
+	}
+	if u.Sample(nil) != 5*time.Millisecond {
+		t.Error("degenerate Sample")
+	}
+}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// ShiftedGamma is the paper's Internet delay model (Eq. 31): a constant
+// propagation delay Loc plus a Gamma(Shape, Scale)-distributed queueing
+// component,
+//
+//	D = Loc + Γ(Shape, Scale).
+//
+// Degenerate parameters (Shape ≤ 0, Scale ≤ 0, or NaN) collapse to a
+// point mass at Loc.
+type ShiftedGamma struct {
+	// Loc is the shift: the minimum possible delay.
+	Loc time.Duration
+	// Shape is the gamma shape parameter k (dimensionless).
+	Shape float64
+	// Scale is the gamma scale parameter θ.
+	Scale time.Duration
+}
+
+// degenerate reports whether the parameters describe a point mass.
+func (g ShiftedGamma) degenerate() bool {
+	return !(g.Shape > 0) || g.Scale <= 0
+}
+
+// Mean returns Loc + Shape·Scale.
+func (g ShiftedGamma) Mean() time.Duration {
+	if g.degenerate() {
+		return g.Loc
+	}
+	return g.Loc + time.Duration(g.Shape*float64(g.Scale))
+}
+
+// Var returns the variance Shape·Scale² in seconds².
+func (g ShiftedGamma) Var() float64 {
+	if g.degenerate() {
+		return 0
+	}
+	s := g.Scale.Seconds()
+	return g.Shape * s * s
+}
+
+// z maps a delay to gamma coordinates (x − Loc)/Scale.
+func (g ShiftedGamma) z(x time.Duration) float64 {
+	return float64(x-g.Loc) / float64(g.Scale)
+}
+
+// CDF returns P(D ≤ x), the regularized lower incomplete gamma
+// P(Shape, (x−Loc)/Scale).
+func (g ShiftedGamma) CDF(x time.Duration) float64 {
+	if g.degenerate() {
+		return Deterministic{D: g.Loc}.CDF(x)
+	}
+	if x <= g.Loc {
+		return 0
+	}
+	return lowerReg(g.Shape, g.z(x))
+}
+
+// Tail returns P(D > x), the regularized upper incomplete gamma
+// Q(Shape, (x−Loc)/Scale), accurate to the smallest positive float64 —
+// the precision Eq. 34's log-space objective needs in Experiment 2.
+func (g ShiftedGamma) Tail(x time.Duration) float64 {
+	if g.degenerate() {
+		return Deterministic{D: g.Loc}.Tail(x)
+	}
+	if x <= g.Loc {
+		return 1
+	}
+	return upperReg(g.Shape, g.z(x))
+}
+
+// Sample draws Loc + Γ(Shape, Scale) via Marsaglia–Tsang.
+func (g ShiftedGamma) Sample(rng *rand.Rand) time.Duration {
+	if g.degenerate() {
+		return g.Loc
+	}
+	return g.Loc + time.Duration(gammaRand(rng, g.Shape)*float64(g.Scale))
+}
+
+func (g ShiftedGamma) support() (lo, hi float64) {
+	lo = g.Loc.Seconds()
+	if g.degenerate() {
+		return lo, lo
+	}
+	return lo, lo + gammaSupportHi(g.Shape)*g.Scale.Seconds()
+}
+
+func (g ShiftedGamma) pdf(x float64) float64 {
+	if g.degenerate() {
+		return 0
+	}
+	scale := g.Scale.Seconds()
+	z := (x - g.Loc.Seconds()) / scale
+	if z <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(g.Shape)
+	return math.Exp((g.Shape-1)*math.Log(z)-z-lg) / scale
+}
+
+// gammaSupportHi returns an x (in scale units) beyond which the gamma
+// upper tail Q(shape, x) is below ~1e-280, by doubling then bisecting.
+func gammaSupportHi(shape float64) float64 {
+	const tail = 1e-280
+	hi := shape + 1
+	for upperReg(shape, hi) > tail {
+		hi *= 2
+	}
+	lo := hi / 2
+	for i := 0; i < 60 && hi-lo > 1e-6*hi; i++ {
+		mid := (lo + hi) / 2
+		if upperReg(shape, mid) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// maxIter bounds the series/continued-fraction loops; convergence near
+// x ≈ a needs O(√a) terms, so scale with the shape.
+func maxIter(a float64) int {
+	return 1000 + int(20*math.Sqrt(a))
+}
+
+// lowerReg returns the regularized lower incomplete gamma P(a, x).
+func lowerReg(a, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaCF(a, x)
+	}
+}
+
+// upperReg returns the regularized upper incomplete gamma Q(a, x). For
+// x > a+1 the Lentz continued fraction evaluates the tail directly, so
+// results stay accurate down to the underflow threshold (~1e-308) rather
+// than saturating at 1−CDF's 2⁻⁵³ resolution.
+func upperReg(a, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeries(a, x)
+	default:
+		return gammaCF(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a, x) by its power series (convergent and
+// numerically preferred for x < a+1).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter(a); i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-17 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCF evaluates Q(a, x) by its continued fraction with the modified
+// Lentz method (preferred for x ≥ a+1).
+func gammaCF(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter(a); i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-17 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// gammaRand draws Γ(shape, 1) with the Marsaglia–Tsang method; shapes
+// below 1 use the Γ(shape+1)·U^{1/shape} boost.
+func gammaRand(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaRand(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

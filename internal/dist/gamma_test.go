@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// tableVPath1 is Experiment 2's path-1 delay model (Table V).
+var tableVPath1 = ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+
+func TestShiftedGammaInvariants(t *testing.T) {
+	for _, g := range []ShiftedGamma{
+		tableVPath1,
+		{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond},
+		{Shape: 0.5, Scale: 10 * time.Millisecond},
+		{Loc: time.Millisecond, Shape: 1, Scale: time.Millisecond},
+		{Loc: 449 * time.Millisecond, Shape: 100, Scale: 10 * time.Microsecond},
+	} {
+		checkDelayInvariants(t, g, 0, g.Mean()+20*time.Duration(math.Sqrt(g.Var())*float64(time.Second)))
+	}
+}
+
+func TestShiftedGammaMoments(t *testing.T) {
+	g := tableVPath1
+	if want := 440 * time.Millisecond; g.Mean() != want {
+		t.Errorf("Mean = %v, want %v", g.Mean(), want)
+	}
+	if want := 10 * 0.004 * 0.004; math.Abs(g.Var()-want) > 1e-15 {
+		t.Errorf("Var = %v, want %v", g.Var(), want)
+	}
+}
+
+// TestShiftedGammaExponential checks shape 1 against the closed-form
+// exponential: CDF = 1 − e^{−z}, Tail = e^{−z}, down to tails of 1e-250.
+func TestShiftedGammaExponential(t *testing.T) {
+	g := ShiftedGamma{Loc: 50 * time.Millisecond, Shape: 1, Scale: 10 * time.Millisecond}
+	for _, z := range []float64{0.1, 0.5, 1, 2, 5, 20, 100, 575} {
+		x := g.Loc + time.Duration(z*float64(g.Scale))
+		wantTail := math.Exp(-z)
+		if got := g.Tail(x); math.Abs(got-wantTail)/wantTail > 1e-10 {
+			t.Errorf("Tail(z=%v) = %v, want %v", z, got, wantTail)
+		}
+		if got, want := g.CDF(x), -math.Expm1(-z); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(z=%v) = %v, want %v", z, got, want)
+		}
+	}
+	// Median of the exponential: Loc + ln2·Scale (tolerance covers the
+	// nanosecond quantization of the probe point).
+	median := g.Loc + time.Duration(math.Ln2*float64(g.Scale))
+	if got := g.CDF(median); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("CDF(median) = %v, want 0.5", got)
+	}
+}
+
+// TestShiftedGammaErlang checks shape 3 against the closed-form Erlang
+// tail e^{−z}(1 + z + z²/2).
+func TestShiftedGammaErlang(t *testing.T) {
+	g := ShiftedGamma{Shape: 3, Scale: 8 * time.Millisecond}
+	for _, z := range []float64{0.25, 1, 3, 10, 50, 200, 600} {
+		x := time.Duration(z * float64(g.Scale))
+		want := math.Exp(-z) * (1 + z + z*z/2)
+		if got := g.Tail(x); math.Abs(got-want)/want > 1e-10 {
+			t.Errorf("Tail(z=%v) = %v, want %v", z, got, want)
+		}
+	}
+}
+
+// TestShiftedGammaDeepTail pins the Experiment-2 regime: the Table V
+// path-1 tail at the δ = 750 ms deadline is e⁻⁶⁰ ≈ 1e-26 and must be
+// resolved with relative precision (1−CDF would return exactly 0 there).
+func TestShiftedGammaDeepTail(t *testing.T) {
+	tail := tableVPath1.Tail(750 * time.Millisecond)
+	if tail <= 0 {
+		t.Fatal("deep tail underflowed to 0")
+	}
+	// ln Q(10, 87.5) = −87.5 + 9·ln 87.5 − lnΓ(10) ≈ −60.06.
+	if lg := math.Log(tail); lg < -60.5 || lg > -59.5 {
+		t.Errorf("ln Tail(750ms) = %v, want ≈ -60.06", lg)
+	}
+	if cdf := tableVPath1.CDF(750 * time.Millisecond); cdf != 1 {
+		t.Errorf("CDF(750ms) = %v, want exactly 1 at float64 resolution", cdf)
+	}
+	// Monotone decay continues far beyond: no NaN/negative underflow.
+	prev := tail
+	for x := 800 * time.Millisecond; x <= 3*time.Second; x += 100 * time.Millisecond {
+		cur := tableVPath1.Tail(x)
+		if cur < 0 || math.IsNaN(cur) || cur > prev {
+			t.Fatalf("tail misbehaves at %v: %v (prev %v)", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestShiftedGammaDegenerate(t *testing.T) {
+	g := ShiftedGamma{Loc: 30 * time.Millisecond}
+	if g.Mean() != 30*time.Millisecond || g.Var() != 0 {
+		t.Error("degenerate moments")
+	}
+	if g.CDF(30*time.Millisecond) != 1 || g.Tail(29*time.Millisecond) != 1 {
+		t.Error("degenerate CDF/Tail should step at Loc")
+	}
+	if g.Sample(nil) != 30*time.Millisecond {
+		t.Error("degenerate Sample")
+	}
+}
+
+// TestShiftedGammaSampleMoments: Marsaglia–Tsang samples match the
+// analytic mean and variance, including the shape<1 boost path.
+func TestShiftedGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for _, g := range []ShiftedGamma{
+		tableVPath1,
+		{Loc: 10 * time.Millisecond, Shape: 0.7, Scale: 20 * time.Millisecond},
+	} {
+		const n = 200000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			s := g.Sample(rng)
+			if s < g.Loc {
+				t.Fatalf("sample %v below Loc %v", s, g.Loc)
+			}
+			x := (s - g.Loc).Seconds()
+			sum += x
+			sum2 += x * x
+		}
+		mean := sum / n
+		wantMean := g.Shape * g.Scale.Seconds()
+		if math.Abs(mean-wantMean)/wantMean > 0.02 {
+			t.Errorf("shape %v: sample mean %v, want %v", g.Shape, mean, wantMean)
+		}
+		variance := sum2/n - mean*mean
+		if math.Abs(variance-g.Var())/g.Var() > 0.05 {
+			t.Errorf("shape %v: sample var %v, want %v", g.Shape, variance, g.Var())
+		}
+	}
+}
+
+// TestRegularizedGammaIdentity: P + Q = 1 across shapes spanning the
+// GammaFit clamp range, on both sides of the series/fraction split.
+func TestRegularizedGammaIdentity(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 100, 1e4, 1e6} {
+		for _, r := range []float64{0.2, 0.9, 1, 1.1, 2, 5} {
+			x := a * r
+			p, q := lowerReg(a, x), upperReg(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P(%v,%v)+Q = %v, want 1", a, x, p+q)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Errorf("P(%v,%v)=%v Q=%v outside [0,1]", a, x, p, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// DefaultSumNodes is NewSum's quadrature resolution, matching the
+// timeout optimizer's default ConvolutionNodes.
+const DefaultSumNodes = 1500
+
+// glPoints is the per-panel order of the composite Gauss-Legendre rule.
+const glPoints = 16
+
+// Sum is the distribution of A + B for independent delays — the
+// round-trip time dᵢ + d_min of Eqs. 27/34. One operand is discretized
+// into a probability-weighted point set (Gauss-Legendre against its
+// density); CDF and Tail then evaluate the other operand's exact
+// CDF/Tail at every point, so the far upper tail inherits the leaf
+// models' relative precision instead of a grid's absolute resolution.
+// Sums involving a Deterministic operand reduce to an exact shift.
+type Sum struct {
+	a, b Delay
+
+	// Shift mode (one operand deterministic): base delayed by shift.
+	base  Delay
+	shift time.Duration
+
+	// Quadrature mode: Σ wts[k]·other.CDF(x − pts[k]).
+	pts   []time.Duration
+	wts   []float64
+	other Delay
+}
+
+// NewSum returns the distribution of a + b at DefaultSumNodes
+// resolution.
+func NewSum(a, b Delay) *Sum { return NewSumNodes(a, b, DefaultSumNodes) }
+
+// NewSumNodes returns the distribution of a + b using the given total
+// quadrature node count (≤ 0 selects DefaultSumNodes).
+func NewSumNodes(a, b Delay, nodes int) *Sum {
+	if nodes <= 0 {
+		nodes = DefaultSumNodes
+	}
+	s := &Sum{a: a, b: b}
+	if d, ok := a.(Deterministic); ok {
+		s.base, s.shift = b, d.D
+		return s
+	}
+	if d, ok := b.(Deterministic); ok {
+		s.base, s.shift = a, d.D
+		return s
+	}
+	if q, ok := a.(quadDist); ok {
+		s.discretize(q, b, nodes)
+		return s
+	}
+	if q, ok := b.(quadDist); ok {
+		s.discretize(q, a, nodes)
+		return s
+	}
+	s.discretizeCDF(a, b, nodes)
+	return s
+}
+
+// discretize builds the point set for a density-bearing operand q via
+// composite Gauss-Legendre over its support, with panel boundaries
+// quadratically graded toward the lower end (where gamma-like densities
+// concentrate) while still reaching the far tail cutoff.
+func (s *Sum) discretize(q quadDist, other Delay, nodes int) {
+	lo, hi := q.support()
+	if !(hi > lo) {
+		s.base, s.shift = other, time.Duration(lo*float64(time.Second))
+		return
+	}
+	panels := nodes / glPoints
+	if panels < 1 {
+		panels = 1
+	}
+	gx, gw := gauleg(glPoints)
+	pts := make([]time.Duration, 0, panels*glPoints)
+	wts := make([]float64, 0, panels*glPoints)
+	total := 0.0
+	for p := 0; p < panels; p++ {
+		frac0 := float64(p) / float64(panels)
+		frac1 := float64(p+1) / float64(panels)
+		x0 := lo + (hi-lo)*frac0*frac0
+		x1 := lo + (hi-lo)*frac1*frac1
+		mid, half := (x0+x1)/2, (x1-x0)/2
+		for k := 0; k < glPoints; k++ {
+			x := mid + half*gx[k]
+			w := half * gw[k] * q.pdf(x)
+			if w <= 0 {
+				continue
+			}
+			pts = append(pts, time.Duration(x*float64(time.Second)))
+			wts = append(wts, w)
+			total += w
+		}
+	}
+	if total <= 0 {
+		s.base, s.shift = other, q.(Delay).Mean()
+		return
+	}
+	// Normalize to exact unit mass so CDF + Tail ≡ 1 by construction.
+	for i := range wts {
+		wts[i] /= total
+	}
+	s.pts, s.wts, s.other = pts, wts, other
+}
+
+// discretizeCDF is the fallback for operands without a density (e.g. a
+// nested *Sum): midpoint Stieltjes masses from CDF differences over a
+// bracketed quantile range. Far-tail resolution is limited by the
+// bracketing epsilon; prefer leaf models as Sum operands where tail
+// precision matters.
+func (s *Sum) discretizeCDF(a, b Delay, nodes int) {
+	const eps = 1e-12
+	lo := quantileByBisect(a, eps)
+	hi := quantileByBisect(a, 1-eps)
+	if hi <= lo {
+		s.base, s.shift = b, lo
+		return
+	}
+	pts := make([]time.Duration, 0, nodes+2)
+	wts := make([]float64, 0, nodes+2)
+	prev := a.CDF(lo)
+	if prev > 0 { // mass at or below the bracket start
+		pts = append(pts, lo)
+		wts = append(wts, prev)
+	}
+	step := (hi - lo) / time.Duration(nodes)
+	if step <= 0 {
+		step = 1
+	}
+	for x := lo + step; x < hi; x += step {
+		c := a.CDF(x)
+		if m := c - prev; m > 0 {
+			pts = append(pts, x-step/2)
+			wts = append(wts, m)
+		}
+		prev = c
+	}
+	if m := 1 - prev; m > 0 { // remaining mass up to and beyond hi
+		pts = append(pts, hi)
+		wts = append(wts, m)
+	}
+	s.pts, s.wts, s.other = pts, wts, b
+}
+
+// quantileByBisect inverts a nonnegative delay CDF by doubling then
+// bisection.
+func quantileByBisect(d Delay, p float64) time.Duration {
+	const maxDur = time.Duration(math.MaxInt64 / 4)
+	hi := time.Second
+	for d.CDF(hi) < p && hi < maxDur {
+		hi *= 2
+	}
+	lo := time.Duration(0)
+	for i := 0; i < 80 && hi-lo > time.Nanosecond; i++ {
+		mid := lo + (hi-lo)/2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Mean returns E[A] + E[B].
+func (s *Sum) Mean() time.Duration { return s.a.Mean() + s.b.Mean() }
+
+// CDF returns P(A + B ≤ x).
+func (s *Sum) CDF(x time.Duration) float64 {
+	if s.base != nil {
+		return s.base.CDF(x - s.shift)
+	}
+	acc := 0.0
+	for k, pt := range s.pts {
+		acc += s.wts[k] * s.other.CDF(x-pt)
+	}
+	return acc
+}
+
+// Tail returns P(A + B > x), evaluated as the weighted sum of the exact
+// operand tails so tiny probabilities keep relative precision.
+func (s *Sum) Tail(x time.Duration) float64 {
+	if s.base != nil {
+		return s.base.Tail(x - s.shift)
+	}
+	acc := 0.0
+	for k, pt := range s.pts {
+		acc += s.wts[k] * s.other.Tail(x-pt)
+	}
+	return acc
+}
+
+// Sample draws one delay from each operand and adds them.
+func (s *Sum) Sample(rng *rand.Rand) time.Duration {
+	return s.a.Sample(rng) + s.b.Sample(rng)
+}
+
+// gauleg returns the nodes and weights of the n-point Gauss-Legendre
+// rule on [−1, 1] (Newton iteration on the Legendre recurrence).
+func gauleg(n int) (x, w []float64) {
+	x = make([]float64, n)
+	w = make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for it := 0; it < 100; it++ {
+			p1, p2 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p1, p2 = ((2*float64(j)+1)*z*p1-float64(j)*p2)/(float64(j)+1), p1
+			}
+			pp = float64(n) * (z*p1 - p2) / (z*z - 1)
+			dz := p1 / pp
+			z -= dz
+			if math.Abs(dz) < 1e-15 {
+				break
+			}
+		}
+		x[i], x[n-1-i] = -z, z
+		w[i] = 2 / ((1 - z*z) * pp * pp)
+		w[n-1-i] = w[i]
+	}
+	return x, w
+}

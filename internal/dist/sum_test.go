@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestSumDeterministicExact: the convolution of two point masses is the
+// exact point mass at the sum — no quadrature error at all.
+func TestSumDeterministicExact(t *testing.T) {
+	s := NewSum(Deterministic{D: 150 * time.Millisecond}, Deterministic{D: 100 * time.Millisecond})
+	if s.Mean() != 250*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.CDF(249999999*time.Nanosecond) != 0 || s.CDF(250*time.Millisecond) != 1 {
+		t.Error("CDF step not exactly at 250ms")
+	}
+	if s.Tail(250*time.Millisecond) != 0 || s.Tail(249*time.Millisecond) != 1 {
+		t.Error("Tail step not exactly at 250ms")
+	}
+	if s.Sample(nil) != 250*time.Millisecond {
+		t.Error("Sample")
+	}
+}
+
+// TestSumDeterministicShift: adding a point mass to a gamma is an exact
+// shift of the gamma, in either operand order.
+func TestSumDeterministicShift(t *testing.T) {
+	g := ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
+	d := Deterministic{D: 40 * time.Millisecond}
+	for _, s := range []*Sum{NewSum(g, d), NewSum(d, g)} {
+		for _, x := range []time.Duration{100, 140, 150, 160, 200} {
+			x *= time.Millisecond
+			if got, want := s.CDF(x), g.CDF(x-40*time.Millisecond); got != want {
+				t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+			}
+			if got, want := s.Tail(x), g.Tail(x-40*time.Millisecond); got != want {
+				t.Errorf("Tail(%v) = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+// TestSumMatchesAnalyticGammaSum: Γ(k₁,θ) + Γ(k₂,θ) with a common scale
+// is exactly Γ(k₁+k₂,θ), shifts adding. The quadrature must match the
+// closed form in the bulk and keep relative accuracy deep into the tail.
+func TestSumMatchesAnalyticGammaSum(t *testing.T) {
+	a := ShiftedGamma{Loc: 10 * time.Millisecond, Shape: 3, Scale: 4 * time.Millisecond}
+	b := ShiftedGamma{Loc: 20 * time.Millisecond, Shape: 2, Scale: 4 * time.Millisecond}
+	want := ShiftedGamma{Loc: 30 * time.Millisecond, Shape: 5, Scale: 4 * time.Millisecond}
+	s := NewSum(a, b)
+	if s.Mean() != want.Mean() {
+		t.Errorf("Mean = %v, want %v", s.Mean(), want.Mean())
+	}
+	for x := 31 * time.Millisecond; x <= 140*time.Millisecond; x += time.Millisecond {
+		cdf, wantCDF := s.CDF(x), want.CDF(x)
+		if math.Abs(cdf-wantCDF) > 5e-6 {
+			t.Errorf("CDF(%v) = %v, want %v", x, cdf, wantCDF)
+		}
+		tail, wantTail := s.Tail(x), want.Tail(x)
+		if wantTail > 1e-100 && math.Abs(tail-wantTail)/wantTail > 1e-3 {
+			t.Errorf("Tail(%v) = %v, want %v (rel err %v)", x, tail, wantTail,
+				math.Abs(tail-wantTail)/wantTail)
+		}
+	}
+	// At 140 ms the analytic tail is below 1e-7; confirm the sum tracked
+	// it into genuinely small territory.
+	if wt := want.Tail(140 * time.Millisecond); wt > 1e-7 {
+		t.Fatalf("test premise broken: analytic tail %v not small", wt)
+	}
+}
+
+// TestSumExperiment2RTT covers the exact Sum the timeout optimizer
+// builds for Experiment 2 (path delay + ack-path delay) and the tail
+// magnitude the paper's t₂,₂ optimum balances (~1e-17 at 323 ms).
+func TestSumExperiment2RTT(t *testing.T) {
+	d2 := ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
+	rtt := NewSumNodes(d2, d2, 1500)
+	checkDelayInvariants(t, rtt, 200*time.Millisecond, 400*time.Millisecond)
+	tail := rtt.Tail(323 * time.Millisecond)
+	if tail <= 0 {
+		t.Fatal("RTT tail underflowed")
+	}
+	if lg := math.Log10(tail); lg < -21 || lg > -13 {
+		t.Errorf("log10 Tail(323ms) = %v, want ≈ -17", lg)
+	}
+	if mean, want := rtt.Mean(), 220*time.Millisecond; mean != want {
+		t.Errorf("Mean = %v, want %v", mean, want)
+	}
+}
+
+// TestSumUniformOperands: Uniform+Uniform has the closed-form triangular
+// CDF; also exercises the Uniform quadrature path.
+func TestSumUniformOperands(t *testing.T) {
+	u := Uniform{Lo: 0, Hi: 10 * time.Millisecond}
+	s := NewSum(u, u)
+	checkDelayInvariants(t, s, 0, 25*time.Millisecond)
+	// P(U1+U2 ≤ 10ms) = 1/2 by symmetry; P(≤ 5ms) = 1/8.
+	if got := s.CDF(10 * time.Millisecond); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("CDF(10ms) = %v, want 0.5", got)
+	}
+	if got := s.CDF(5 * time.Millisecond); math.Abs(got-0.125) > 1e-6 {
+		t.Errorf("CDF(5ms) = %v, want 0.125", got)
+	}
+}
+
+// TestSumFallbackNested: a Sum of Sums has no density and takes the
+// CDF-discretization fallback; bulk accuracy must survive. Node counts
+// are kept small — nested evaluation is O(nodes²) per probe.
+func TestSumFallbackNested(t *testing.T) {
+	g := ShiftedGamma{Loc: 10 * time.Millisecond, Shape: 4, Scale: 3 * time.Millisecond}
+	inner := NewSumNodes(g, g, 200)
+	outer := NewSumNodes(inner, inner, 200)
+	if got, want := outer.Mean(), 4*g.Mean(); got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Γ summing: the outer sum is Loc 40ms + Γ(16, 3ms) exactly.
+	want := ShiftedGamma{Loc: 40 * time.Millisecond, Shape: 16, Scale: 3 * time.Millisecond}
+	prev := -1.0
+	for x := 50 * time.Millisecond; x <= 150*time.Millisecond; x += 5 * time.Millisecond {
+		got := outer.CDF(x)
+		if math.Abs(got-want.CDF(x)) > 1e-3 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want.CDF(x))
+		}
+		if got < prev {
+			t.Errorf("CDF not monotone at %v", x)
+		}
+		if tail := outer.Tail(x); got > 1e-6 && tail > 1e-6 && math.Abs(tail-(1-got)) > 1e-9 {
+			t.Errorf("Tail(%v) inconsistent with CDF", x)
+		}
+		prev = got
+	}
+}
+
+// TestSumSampleAgreesWithCDF: empirical CDF of Sum.Sample matches
+// Sum.CDF (Kolmogorov-style max deviation bound).
+func TestSumSampleAgreesWithCDF(t *testing.T) {
+	g1 := ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
+	g2 := ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
+	s := NewSum(g1, g2)
+	rng := rand.New(rand.NewPCG(3, 9))
+	const n = 50000
+	for _, x := range []time.Duration{540, 555, 570, 600} {
+		x *= time.Millisecond
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Sample(rng) <= x {
+				hits++
+			}
+		}
+		// Reseed per probe for independence of the comparison.
+		rng = rand.New(rand.NewPCG(3, uint64(x)))
+		emp := float64(hits) / n
+		if want := s.CDF(x); math.Abs(emp-want) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, model %v", x, emp, want)
+		}
+	}
+}
+
+// TestNewSumNodesDefaults: non-positive node counts select the default.
+func TestNewSumNodesDefaults(t *testing.T) {
+	g := ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
+	s := NewSumNodes(g, g, 0)
+	if len(s.pts) == 0 {
+		t.Fatal("no quadrature points built")
+	}
+	if got, want := len(s.pts), (DefaultSumNodes/glPoints)*glPoints; got > want {
+		t.Errorf("node count %v exceeds requested %v", got, want)
+	}
+	var mass float64
+	for _, w := range s.wts {
+		mass += w
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("quadrature mass = %v, want 1", mass)
+	}
+}
