@@ -1,6 +1,10 @@
 # Single source of truth for the build/test/fuzz/bench commands; the CI
 # workflow (.github/workflows/ci.yml) invokes these same targets.
 
+# bash for pipefail: bench-compare pipes `go test` into the comparison
+# script and must fail when the benchmark run itself fails mid-suite.
+SHELL := /bin/bash
+
 GO ?= go
 
 .PHONY: all build vet fmt-check test fuzz-smoke bench-smoke bench ci
@@ -34,7 +38,18 @@ bench-smoke:
 
 # The real benchmark suite (the paper's evaluation artifacts live in
 # bench_test.go at the repo root); compare against BENCH_baseline.json.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1s .
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .
+
+# Runs the root benchmarks and diffs ns/op against BENCH_baseline.json,
+# failing on >25% regressions. Override BENCHTIME (e.g. 100ms) for a
+# quicker, noisier pass; set BENCH_WRITE to also snapshot the results.
+BENCH_WRITE ?=
+bench-compare:
+	set -o pipefail; \
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json \
+			$(if $(BENCH_WRITE),-write $(BENCH_WRITE),)
 
 ci: all fuzz-smoke bench-smoke

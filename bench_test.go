@@ -41,6 +41,7 @@ func BenchmarkFigure1Scenario(b *testing.B) {
 // BenchmarkTable4RateSweep regenerates Table IV (top) with the exact
 // rational solver.
 func BenchmarkTable4RateSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table4Top()
 		if err != nil {
@@ -55,6 +56,7 @@ func BenchmarkTable4RateSweep(b *testing.B) {
 // BenchmarkTable4LifetimeSweep regenerates Table IV (bottom) with the
 // exact rational solver.
 func BenchmarkTable4LifetimeSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table4Bottom()
 		if err != nil {
@@ -69,6 +71,7 @@ func BenchmarkTable4LifetimeSweep(b *testing.B) {
 // BenchmarkFigure2RateCurve regenerates the Figure 2 (top) series at
 // reduced message count (full runs live in cmd/reproduce).
 func BenchmarkFigure2RateCurve(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.Figure2Top(experiments.Figure2Config{Messages: 2000, Seed: uint64(i + 1)})
 		if err != nil {
@@ -312,9 +315,31 @@ func BenchmarkSumTail(b *testing.B) {
 	g1 := dist.ShiftedGamma{Loc: 400 * time.Millisecond, Shape: 10, Scale: 4 * time.Millisecond}
 	g2 := dist.ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 5, Scale: 2 * time.Millisecond}
 	s := dist.NewSumNodes(g1, g2, 1500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Tail(615 * time.Millisecond)
+	}
+}
+
+// BenchmarkSolveMany measures the batch solve API on a fleet of Figure 4
+// sized instances (per-op time covers the whole batch).
+func BenchmarkSolveMany(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 27))
+	nets := make([]*dmc.Network, 64)
+	for i := range nets {
+		nets[i] = experiments.RandomNetwork(rng, 6, 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := dmc.SolveMany(nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sols) != len(nets) {
+			b.Fatal("missing solutions")
+		}
 	}
 }
 

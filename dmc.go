@@ -80,6 +80,11 @@ type (
 	Timeouts = core.Timeouts
 	// TimeoutOptions tunes OptimalTimeouts' search.
 	TimeoutOptions = core.TimeoutOptions
+	// Solver is a reusable solve context: it owns the simplex tableau and
+	// combination-enumeration workspaces, so repeated solves of
+	// same-shaped networks allocate almost nothing after warmup. Not safe
+	// for concurrent use; use one per goroutine, or SolveMany.
+	Solver = core.Solver
 )
 
 // §IX extensions: load-dependent characteristics and risk adjustment.
@@ -175,8 +180,20 @@ func NewNetwork(rate float64, lifetime time.Duration, paths ...Path) *Network {
 	return core.NewNetwork(rate, lifetime, paths...)
 }
 
-// SolveQuality maximizes the communication quality Q (Eq. 10).
+// SolveQuality maximizes the communication quality Q (Eq. 10) with a
+// pooled reusable solver.
 func SolveQuality(n *Network) (*Solution, error) { return core.SolveQuality(n) }
+
+// NewSolver returns a reusable Solver for hot loops that solve many
+// same-shaped networks (adaptive re-solves, sweeps): tableau, basis, and
+// enumeration buffers are kept across calls.
+func NewSolver() *Solver { return core.NewSolver() }
+
+// SolveMany solves the quality maximization for every network, fanning
+// the solves across GOMAXPROCS workers with per-worker reusable solvers.
+// Results are in input order; on error, entries that did not solve are
+// nil. Safe for concurrent use.
+func SolveMany(nets []*Network) ([]*Solution, error) { return core.SolveMany(nets) }
 
 // SolveMinCost minimizes cost subject to a quality floor (§VI-A).
 func SolveMinCost(n *Network, minQuality float64) (*Solution, error) {

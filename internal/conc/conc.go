@@ -1,0 +1,61 @@
+// Package conc provides the one worker-pool primitive shared by the
+// batch solver (core.SolveMany) and the experiment sweeps: run n
+// independent tasks across GOMAXPROCS workers with first-error-wins
+// cancellation.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n)
+// workers. Tasks must be independent; callers write results into
+// pre-indexed slots so output order is deterministic. The first error
+// (by scheduling order) wins and the remaining tasks are skipped.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						failed.Store(true)
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"dmc/internal/lp"
 )
 
@@ -16,66 +14,19 @@ func BuildLP(n *Network) (*lp.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.buildQualityLP(), nil
-}
-
-func (m *model) buildQualityLP() *lp.Problem {
-	obj := make([]float64, m.nVars)
-	shares := make([][]float64, m.nVars)
-	costs := make([]float64, m.nVars)
-	for l := 0; l < m.nVars; l++ {
-		c := m.combo(l)
-		obj[l] = m.deliveryProb(c)
-		shares[l] = m.sendShare(c)
-		costs[l] = m.comboCost(c)
-	}
-
-	p := lp.NewProblem(lp.Maximize, obj)
-	m.addCommonRowsWith(p, shares, costs)
-	return p
+	cols := m.computeColumns(make([]int, m.m))
+	return m.assembleProblem(lp.Maximize, cols.delivery, cols, nil, true), nil
 }
 
 // SolveQuality solves the deterministic-delay quality maximization
-// (Eq. 10) and returns the optimal sending strategy. The problem is always
+// (Eq. 10) with a pooled reusable Solver. The problem is always
 // feasible — the blackhole path absorbs any excess traffic — so a
 // non-optimal status indicates an internal error.
 func SolveQuality(n *Network) (*Solution, error) {
-	m, err := newModel(n)
-	if err != nil {
-		return nil, err
-	}
-	prob := m.buildQualityLP()
-	sol, err := lp.Solve(prob)
-	if err != nil {
-		return nil, fmt.Errorf("core: solving quality LP: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: quality LP unexpectedly %v", sol.Status)
-	}
-	return m.newSolution(prob, sol.X, sol.Objective), nil
-}
-
-// newSolution assembles the public Solution from a solved x′ vector.
-func (m *model) newSolution(prob *lp.Problem, x []float64, quality float64) *Solution {
-	s := &Solution{
-		Network:  m.net,
-		X:        x,
-		Quality:  clamp01(quality),
-		m:        m,
-		problem:  prob,
-		combos:   make([]Combo, m.nVars),
-		delivery: make([]float64, m.nVars),
-		shares:   make([][]float64, m.nVars),
-		costs:    make([]float64, m.nVars),
-	}
-	for l := 0; l < m.nVars; l++ {
-		c := m.combo(l)
-		s.combos[l] = c
-		s.delivery[l] = m.deliveryProb(c)
-		s.shares[l] = m.sendShare(c)
-		s.costs[l] = m.comboCost(c)
-	}
-	return s
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveQuality(n)
+	solverPool.Put(s)
+	return sol, err
 }
 
 func clamp01(v float64) float64 {

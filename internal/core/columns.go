@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// columns holds the per-combination LP coefficient columns of Eq. 10 in
+// flat form: one delivery probability and cost per combination, plus the
+// send-share matrix stored row-major (combination l's share of model path
+// i at shares[l*base+i]). A columns value is computed in a single pass
+// over the combination space and is shared between the LP build and the
+// returned Solution, so it must not be mutated after construction.
+type columns struct {
+	delivery []float64 // p_l (Eq. 12)
+	costs    []float64 // r_l (Eq. 16)
+	shares   []float64 // nVars × base, row-major
+	combos   []Combo   // headers into one backing array
+}
+
+// newColumns allocates the flat column tables for nVars combinations of
+// trans path digits: one backing array carries every Combo, so the whole
+// structure costs five allocations regardless of nVars.
+func newColumns(nVars, base, trans int) *columns {
+	cols := &columns{
+		delivery: make([]float64, nVars),
+		costs:    make([]float64, nVars),
+		shares:   make([]float64, nVars*base),
+		combos:   make([]Combo, nVars),
+	}
+	backing := make([]int, nVars*trans)
+	for l := 0; l < nVars; l++ {
+		cols.combos[l] = Combo(backing[l*trans : (l+1)*trans])
+	}
+	return cols
+}
+
+// computeColumns enumerates every combination once with an odometer over
+// the little-endian path digits (Eq. 13) and evaluates delivery
+// probability, send shares, and cost in a single fused pass — the
+// allocation-light replacement for per-combination combo/sendShare/
+// attemptSchedule calls. digits is caller-provided scratch of length ≥ m.
+func (m *model) computeColumns(digits []int) *columns {
+	base, trans, nVars := m.base, m.m, m.nVars
+	cols := newColumns(nVars, base, trans)
+	digits = digits[:trans]
+	for k := range digits {
+		digits[k] = 0
+	}
+	δ := m.net.Lifetime
+	for l := 0; l < nVars; l++ {
+		combo := cols.combos[l]
+		copy(combo, digits)
+
+		share := cols.shares[l*base : (l+1)*base]
+		var deliver, cost float64
+		surv := 1.0
+		var t time.Duration
+		for _, i := range combo {
+			p := &m.paths[i]
+			share[i] += surv
+			if i == 0 {
+				// Blackhole: the data is deliberately dropped; later
+				// attempts never happen and cost nothing.
+				break
+			}
+			cost += surv * p.Cost
+			arrival := t + p.Delay
+			if arrival >= 0 && arrival <= δ { // guard overflow
+				deliver += surv * (1 - p.Loss)
+			}
+			next := t + p.Delay + m.dmin
+			if next < t { // overflow
+				next = time.Duration(math.MaxInt64)
+			}
+			t = next
+			surv *= p.Loss
+			if surv == 0 {
+				break
+			}
+		}
+		cols.delivery[l] = deliver
+		cols.costs[l] = cost
+
+		// Odometer increment of the little-endian digits.
+		for k := 0; k < trans; k++ {
+			digits[k]++
+			if digits[k] < base {
+				break
+			}
+			digits[k] = 0
+		}
+	}
+	return cols
+}

@@ -2,75 +2,22 @@ package core
 
 import (
 	"fmt"
-	"math"
-
-	"dmc/internal/lp"
 )
 
-// SolveMinCost solves the §VI-A variant: minimize the expected total cost
-// per second (objective Eq. 21) subject to the bandwidth rows, the
-// conservation row, and a minimum communication quality (Eq. 22's
-// constraint, implemented as p·x ≥ minQuality; the paper writes the
-// negated form — see DESIGN.md erratum #3).
+// SolveMinCost solves the §VI-A variant with a pooled reusable Solver:
+// minimize the expected total cost per second (objective Eq. 21) subject
+// to the bandwidth rows, the conservation row, and a minimum
+// communication quality (Eq. 22's constraint, implemented as
+// p·x ≥ minQuality; the paper writes the negated form — see DESIGN.md
+// erratum #3).
 //
 // Returns lp.Infeasible wrapped in an error when the requested quality is
 // unattainable on the given network.
 func SolveMinCost(n *Network, minQuality float64) (*Solution, error) {
-	if math.IsNaN(minQuality) || minQuality < 0 || minQuality > 1 {
-		return nil, fmt.Errorf("core: min quality %v outside [0,1]", minQuality)
-	}
-	m, err := newModel(n)
-	if err != nil {
-		return nil, err
-	}
-
-	obj := make([]float64, m.nVars)
-	quality := make([]float64, m.nVars)
-	shares := make([][]float64, m.nVars)
-	λ := n.Rate
-	for l := 0; l < m.nVars; l++ {
-		c := m.combo(l)
-		obj[l] = λ * m.comboCost(c) // Eq. 21: (λ·cᵢ) + (λ·τᵢ·cⱼ), generalized
-		quality[l] = m.deliveryProb(c)
-		shares[l] = m.sendShare(c)
-	}
-
-	p := lp.NewProblem(lp.Minimize, obj)
-	for i := 1; i < m.base; i++ {
-		row := make([]float64, m.nVars)
-		for l := 0; l < m.nVars; l++ {
-			row[l] = λ * shares[l][i]
-		}
-		p.AddNamedConstraint(fmt.Sprintf("bandwidth[%d]", i-1), row, lp.LE, m.paths[i].Bandwidth)
-	}
-	p.AddNamedConstraint("quality", quality, lp.GE, minQuality)
-	ones := make([]float64, m.nVars)
-	for l := range ones {
-		ones[l] = 1
-	}
-	p.AddNamedConstraint("conservation", ones, lp.EQ, 1)
-
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: solving min-cost LP: %w", err)
-	}
-	switch sol.Status {
-	case lp.Optimal:
-	case lp.Infeasible:
-		return nil, fmt.Errorf("core: quality %v unattainable on this network: %w", minQuality, ErrInfeasible)
-	default:
-		return nil, fmt.Errorf("core: min-cost LP unexpectedly %v", sol.Status)
-	}
-
-	s := m.newSolution(p, sol.X, 0)
-	// Recompute achieved quality from the solution (the LP objective here
-	// is cost, not quality).
-	var q float64
-	for l, x := range sol.X {
-		q += x * s.delivery[l]
-	}
-	s.Quality = clamp01(q)
-	return s, nil
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveMinCost(n, minQuality)
+	solverPool.Put(s)
+	return sol, err
 }
 
 // ErrInfeasible marks quality targets that no sending strategy can meet.

@@ -341,44 +341,7 @@ func (m *model) deliveryProb(c Combo) float64 {
 	return p
 }
 
-// sendShare returns, for combination c, the expected number of bits sent
-// on each model path per bit of application data (the per-column
-// coefficients of Eq. 15 generalized): attempt k on path i contributes
-// Π_{r<k} τ_r to path i. Attempts after a blackhole never happen — the
-// data was deliberately dropped — so enumeration stops there. (Eq. 15
-// taken literally would charge them; the affected columns are dominated by
-// their blackhole-terminated counterparts, so the LP optimum is
-// unchanged.)
-func (m *model) sendShare(c Combo) []float64 {
-	share := make([]float64, m.base)
-	surv := 1.0
-	for _, i := range c {
-		share[i] += surv
-		if m.isBlackhole(i) {
-			break
-		}
-		surv *= m.paths[i].Loss
-		if surv == 0 {
-			break
-		}
-	}
-	return share
-}
-
-// comboCost returns r_l (Eq. 16 generalized): expected cost per second of
-// assigning one unit of traffic to combination c, divided by λ.
-func (m *model) comboCost(c Combo) float64 {
-	var cost float64
-	surv := 1.0
-	for _, i := range c {
-		cost += surv * m.paths[i].Cost
-		if m.isBlackhole(i) {
-			break
-		}
-		surv *= m.paths[i].Loss
-		if surv == 0 {
-			break
-		}
-	}
-	return cost
-}
+// The send-share (Eq. 15) and cost (Eq. 16) column coefficients are
+// computed alongside delivery probability in the fused single pass of
+// computeColumns (columns.go); deliveryProb/attemptSchedule above remain
+// for QualityUpperBound and per-combination inspection.

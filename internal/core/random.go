@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"dmc/internal/dist"
 	"dmc/internal/lp"
@@ -13,6 +12,15 @@ import (
 // m ≠ 2: the paper's random-delay extension (Eqs. 27–30) is formulated for
 // one retransmission, and the timeout table t_{i,j} is pairwise.
 var ErrRandomNeedsTwoTransmissions = errors.New("core: random-delay model requires Transmissions == 2")
+
+// SolveQualityRandom solves the random-delay model with a pooled reusable
+// Solver; see Solver.SolveQualityRandom.
+func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveQualityRandom(n, to)
+	solverPool.Put(s)
+	return sol, err
+}
 
 // SolveQualityRandom solves the §VI-B random-delay model: path delays are
 // distributions (Path.RandDelay, falling back to a point mass at
@@ -26,7 +34,7 @@ var ErrRandomNeedsTwoTransmissions = errors.New("core: random-delay model requir
 // τᵢ. Combinations whose first attempt is the blackhole deliver nothing
 // and are never retransmitted; combinations with an undefined timeout
 // cannot retransmit in time (their delivery reduces to the first attempt).
-func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
+func (s *Solver) SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
 	m, err := newModel(n)
 	if err != nil {
 		return nil, err
@@ -42,49 +50,21 @@ func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
 		return nil, fmt.Errorf("core: timeout table size %d, want %d", toSize, len(n.Paths))
 	}
 
-	coeff := m.randomCoefficients(to)
-
-	obj := make([]float64, m.nVars)
-	for l := range obj {
-		obj[l] = coeff.delivery[l]
-	}
-	p := lp.NewProblem(lp.Maximize, obj)
-	m.addCommonRowsWith(p, coeff.shares, coeff.costs)
-
-	sol, err := lp.Solve(p)
+	cols := m.randomColumns(to)
+	prob := m.assembleProblem(lp.Maximize, cols.delivery, cols, nil, true)
+	sol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: solving random-delay LP: %w", err)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("core: random-delay LP unexpectedly %v", sol.Status)
 	}
-
-	s := &Solution{
-		Network:  n,
-		X:        sol.X,
-		Quality:  clamp01(sol.Objective),
-		m:        m,
-		problem:  p,
-		combos:   make([]Combo, m.nVars),
-		delivery: coeff.delivery,
-		shares:   coeff.shares,
-		costs:    coeff.costs,
-	}
-	for l := 0; l < m.nVars; l++ {
-		s.combos[l] = m.combo(l)
-	}
-	return s, nil
+	return m.newSolution(prob, cols, sol.X, sol.Objective), nil
 }
 
-// randomCoeffs holds per-combination LP coefficients under random delays.
-type randomCoeffs struct {
-	delivery []float64
-	shares   [][]float64
-	costs    []float64
-}
-
-// randomCoefficients evaluates Eqs. 27–30 for every combination.
-func (m *model) randomCoefficients(to *Timeouts) *randomCoeffs {
+// randomColumns evaluates Eqs. 27–30 for every combination (m = 2) into
+// flat column tables.
+func (m *model) randomColumns(to *Timeouts) *columns {
 	n := m.net
 	δ := n.Lifetime
 	ack := n.Paths[n.AckPathIndex()].delayDist()
@@ -96,16 +76,12 @@ func (m *model) randomCoefficients(to *Timeouts) *randomCoeffs {
 		rtt[i] = dist.NewSum(n.Paths[i-1].delayDist(), ack)
 	}
 
-	out := &randomCoeffs{
-		delivery: make([]float64, m.nVars),
-		shares:   make([][]float64, m.nVars),
-		costs:    make([]float64, m.nVars),
-	}
-	for l := 0; l < m.nVars; l++ {
-		c := m.combo(l)
-		i, j := c[0], c[1]
-		share := make([]float64, m.base)
-		out.shares[l] = share
+	base, nVars := m.base, m.nVars
+	cols := newColumns(nVars, base, 2)
+	for l := 0; l < nVars; l++ {
+		i, j := l%base, l/base
+		cols.combos[l][0], cols.combos[l][1] = i, j
+		share := cols.shares[l*base : (l+1)*base]
 
 		if m.isBlackhole(i) {
 			// Dropped on arrival at the sender: nothing delivered,
@@ -143,33 +119,8 @@ func (m *model) randomCoefficients(to *Timeouts) *randomCoeffs {
 			share[j] += pRetrans
 			cost += pRetrans * pj.Cost
 		}
-		out.delivery[l] = clamp01(delivery + pRetrans*pRetransDeliver)
-		out.costs[l] = cost
+		cols.delivery[l] = clamp01(delivery + pRetrans*pRetransDeliver)
+		cols.costs[l] = cost
 	}
-	return out
-}
-
-// addCommonRowsWith is addCommonRows for externally supplied coefficient
-// tables (the random model's Eq. 29/30 rows).
-func (m *model) addCommonRowsWith(p *lp.Problem, shares [][]float64, costs []float64) {
-	λ := m.net.Rate
-	for i := 1; i < m.base; i++ {
-		row := make([]float64, m.nVars)
-		for l := 0; l < m.nVars; l++ {
-			row[l] = λ * shares[l][i]
-		}
-		p.AddNamedConstraint(fmt.Sprintf("bandwidth[%d]", i-1), row, lp.LE, m.paths[i].Bandwidth)
-	}
-	if !math.IsInf(m.net.CostBound, 1) {
-		row := make([]float64, m.nVars)
-		for l := 0; l < m.nVars; l++ {
-			row[l] = λ * costs[l]
-		}
-		p.AddNamedConstraint("cost", row, lp.LE, m.net.CostBound)
-	}
-	ones := make([]float64, m.nVars)
-	for l := range ones {
-		ones[l] = 1
-	}
-	p.AddNamedConstraint("conservation", ones, lp.EQ, 1)
+	return cols
 }

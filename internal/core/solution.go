@@ -27,8 +27,10 @@ type Solution struct {
 	problem  *lp.Problem
 	combos   []Combo
 	delivery []float64
-	shares   [][]float64
-	costs    []float64
+	// shares is the send-share matrix in flat row-major form:
+	// combination l's share of model path i at shares[l*base+i].
+	shares []float64
+	costs  []float64
 }
 
 // ComboShare pairs a path combination with its traffic share.
@@ -77,9 +79,10 @@ func (s *Solution) ActiveCombos(minFraction float64) []ComboShare {
 // i (0-based index into Network.Paths).
 func (s *Solution) SentRate(i int) float64 {
 	model := i + 1 // shift past the blackhole
+	base := s.m.base
 	var rate float64
 	for l, x := range s.X {
-		rate += x * s.shares[l][model]
+		rate += x * s.shares[l*base+model]
 	}
 	return rate * s.Network.Rate
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dmc/internal/lp"
+)
+
+// Solver is a reusable solve context: it owns an lp.Solver (tableau,
+// basis, and pivot workspaces) plus the combination-enumeration scratch,
+// so repeated solves of same-shaped networks reuse all of the solver's
+// working memory and allocate only the returned Solution. A Solver is
+// NOT safe for concurrent use; use one per goroutine or the SolveMany
+// batch API, which shards work across a pool of them.
+type Solver struct {
+	lps    lp.Solver
+	digits []int
+}
+
+// NewSolver returns a reusable Solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// solverPool backs the package-level SolveQuality/SolveMinCost/
+// SolveQualityRandom wrappers and the SolveMany workers, so one-shot
+// callers still reuse solver memory across calls.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+func (s *Solver) scratch(m int) []int {
+	if cap(s.digits) < m {
+		s.digits = make([]int, m)
+	}
+	return s.digits[:m]
+}
+
+// SolveQuality solves the deterministic-delay quality maximization
+// (Eq. 10) and returns the optimal sending strategy. The problem is
+// always feasible — the blackhole path absorbs any excess traffic — so a
+// non-optimal status indicates an internal error.
+func (s *Solver) SolveQuality(n *Network) (*Solution, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	cols := m.computeColumns(s.scratch(m.m))
+	prob := m.assembleProblem(lp.Maximize, cols.delivery, cols, nil, true)
+	sol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: quality LP unexpectedly %v", sol.Status)
+	}
+	return m.newSolution(prob, cols, sol.X, sol.Objective), nil
+}
+
+// SolveMinCost solves the §VI-A variant: minimize the expected total cost
+// per second (objective Eq. 21) subject to the bandwidth rows, the
+// conservation row, and a minimum communication quality (Eq. 22's
+// constraint, implemented as p·x ≥ minQuality; the paper writes the
+// negated form — see DESIGN.md erratum #3).
+//
+// Returns lp.Infeasible wrapped in an error when the requested quality is
+// unattainable on the given network.
+func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error) {
+	if math.IsNaN(minQuality) || minQuality < 0 || minQuality > 1 {
+		return nil, fmt.Errorf("core: min quality %v outside [0,1]", minQuality)
+	}
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	cols := m.computeColumns(s.scratch(m.m))
+	obj := make([]float64, m.nVars)
+	for l, c := range cols.costs {
+		obj[l] = n.Rate * c // Eq. 21: (λ·cᵢ) + (λ·τᵢ·cⱼ), generalized
+	}
+	quality := lp.Constraint{Name: "quality", Coeffs: cols.delivery, Rel: lp.GE, RHS: minQuality}
+	// No cost row: cost is the objective here, not a constraint (the
+	// §VI-A formulation replaces the budget µ with the quality floor).
+	prob := m.assembleProblem(lp.Minimize, obj, cols, &quality, false)
+
+	sol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: solving min-cost LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("core: quality %v unattainable on this network: %w", minQuality, ErrInfeasible)
+	default:
+		return nil, fmt.Errorf("core: min-cost LP unexpectedly %v", sol.Status)
+	}
+
+	out := m.newSolution(prob, cols, sol.X, 0)
+	// Recompute achieved quality from the solution (the LP objective here
+	// is cost, not quality).
+	var q float64
+	for l, x := range sol.X {
+		q += x * cols.delivery[l]
+	}
+	out.Quality = clamp01(q)
+	return out, nil
+}
+
+// assembleProblem builds the common LP skeleton around the given
+// objective: bandwidth rows (Eqs. 14–15/29), an optional extra row (the
+// §VI-A quality floor), the cost row (Eq. 16/30) when costRow is set and
+// the budget is finite, and the conservation row Bx′ = 1 (Eq. 18). All
+// constraint coefficient rows are carved from one flat backing array;
+// slices from cols are referenced, never copied, so the Problem shares
+// storage with the Solution's own column tables.
+func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, extra *lp.Constraint, costRow bool) *lp.Problem {
+	λ := m.net.Rate
+	base, nVars := m.base, m.nVars
+	hasCost := costRow && !math.IsInf(m.net.CostBound, 1)
+
+	nRows := base - 1 + 1 // bandwidth rows + conservation
+	if hasCost {
+		nRows++
+	}
+	if extra != nil {
+		nRows++
+	}
+	cons := make([]lp.Constraint, 0, nRows)
+	backing := make([]float64, nVars*nRows)
+	nextRow := func() []float64 {
+		row := backing[:nVars:nVars]
+		backing = backing[nVars:]
+		return row
+	}
+
+	for i := 1; i < base; i++ {
+		row := nextRow()
+		for l := 0; l < nVars; l++ {
+			row[l] = λ * cols.shares[l*base+i]
+		}
+		cons = append(cons, lp.Constraint{
+			Name: fmt.Sprintf("bandwidth[%d]", i-1), Coeffs: row, Rel: lp.LE, RHS: m.paths[i].Bandwidth,
+		})
+	}
+	if extra != nil {
+		cons = append(cons, *extra)
+	}
+	if hasCost {
+		row := nextRow()
+		for l, c := range cols.costs {
+			row[l] = λ * c
+		}
+		cons = append(cons, lp.Constraint{Name: "cost", Coeffs: row, Rel: lp.LE, RHS: m.net.CostBound})
+	}
+	ones := nextRow()
+	for l := range ones {
+		ones[l] = 1
+	}
+	cons = append(cons, lp.Constraint{Name: "conservation", Coeffs: ones, Rel: lp.EQ, RHS: 1})
+
+	return &lp.Problem{Sense: sense, Objective: obj, Constraints: cons}
+}
+
+// newSolution assembles the public Solution from a solved x′ vector,
+// sharing the column tables with the LP that produced it.
+func (m *model) newSolution(prob *lp.Problem, cols *columns, x []float64, quality float64) *Solution {
+	return &Solution{
+		Network:  m.net,
+		X:        x,
+		Quality:  clamp01(quality),
+		m:        m,
+		problem:  prob,
+		combos:   cols.combos,
+		delivery: cols.delivery,
+		shares:   cols.shares,
+		costs:    cols.costs,
+	}
+}

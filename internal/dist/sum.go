@@ -3,6 +3,9 @@ package dist
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,6 +34,25 @@ type Sum struct {
 	pts   []time.Duration
 	wts   []float64
 	other Delay
+
+	// Active-window acceleration: pts is ascending, so for a given x the
+	// atoms with x − pts[k] below other's support contribute an exact
+	// CDF 0 / Tail 1, and those with x − pts[k] beyond other's upper
+	// support cutoff contribute ~1 / ~0 (≤1e-280, other.support's mass
+	// cutoff). suffW[k] = Σ_{j≥k} wts[j] lets both groups be summed in
+	// O(log n), leaving only the atoms whose argument lands inside
+	// other's support for real evaluation.
+	suffW        []float64 // len(pts)+1, suffW[len(pts)] = 0
+	otherLo      time.Duration
+	otherHi      time.Duration
+	otherBounded bool
+
+	// Lazily built interpolated view (see tailtable.go): after
+	// tableThreshold direct evaluations, CDF/Tail switch from the full
+	// convolution pass to O(log n) monotone-cubic table lookups.
+	evals   atomic.Int64
+	tblOnce sync.Once
+	tbl     atomic.Pointer[sumTable]
 }
 
 // NewSum returns the distribution of a + b at DefaultSumNodes
@@ -78,7 +100,7 @@ func (s *Sum) discretize(q quadDist, other Delay, nodes int) {
 	if panels < 1 {
 		panels = 1
 	}
-	gx, gw := gauleg(glPoints)
+	gx, gw := gaulegDefault()
 	pts := make([]time.Duration, 0, panels*glPoints)
 	wts := make([]float64, 0, panels*glPoints)
 	total := 0.0
@@ -108,6 +130,41 @@ func (s *Sum) discretize(q quadDist, other Delay, nodes int) {
 		wts[i] /= total
 	}
 	s.pts, s.wts, s.other = pts, wts, other
+	s.finishQuadrature()
+}
+
+// finishQuadrature precomputes the suffix weight sums and the other
+// operand's support bounds for the active-window fast path.
+func (s *Sum) finishQuadrature() {
+	s.suffW = make([]float64, len(s.pts)+1)
+	for k := len(s.pts) - 1; k >= 0; k-- {
+		s.suffW[k] = s.suffW[k+1] + s.wts[k]
+	}
+	switch v := s.other.(type) {
+	case quadDist:
+		lo, hi := v.support()
+		if hi > lo {
+			s.otherLo = time.Duration(lo * float64(time.Second))
+			s.otherHi = time.Duration(hi * float64(time.Second))
+			s.otherBounded = true
+		}
+	case Deterministic:
+		s.otherLo, s.otherHi = v.D, v.D
+		s.otherBounded = true
+	}
+}
+
+// activeWindow returns the atom index range [j0, j1) whose argument
+// x − pts[k] lands strictly inside other's support, plus the weight mass
+// of the atoms at or above the support's lower edge (argument ≤ lo:
+// CDF 0, Tail 1) and below its upper cutoff (argument ≥ hi: CDF ~1,
+// Tail ≤ 1e-280, other.support's mass floor).
+func (s *Sum) activeWindow(x time.Duration) (j0, j1 int, wBelow, wAbove float64) {
+	// First atom with pts[k] > x − hi: atoms before it have arg ≥ hi.
+	j0 = sort.Search(len(s.pts), func(k int) bool { return s.pts[k] > x-s.otherHi })
+	// First atom with pts[k] ≥ x − lo: atoms from it on have arg ≤ lo.
+	j1 = j0 + sort.Search(len(s.pts)-j0, func(k int) bool { return s.pts[j0+k] >= x-s.otherLo })
+	return j0, j1, s.suffW[j1], s.suffW[0] - s.suffW[j0]
 }
 
 // discretizeCDF is the fallback for operands without a density (e.g. a
@@ -172,35 +229,105 @@ func quantileByBisect(d Delay, p float64) time.Duration {
 // Mean returns E[A] + E[B].
 func (s *Sum) Mean() time.Duration { return s.a.Mean() + s.b.Mean() }
 
-// CDF returns P(A + B ≤ x).
+// CDF returns P(A + B ≤ x). Repeatedly probed Sums (the Eq. 34 timeout
+// search) answer from the interpolated table; see tailtable.go.
 func (s *Sum) CDF(x time.Duration) float64 {
 	if s.base != nil {
 		return s.base.CDF(x - s.shift)
 	}
-	acc := 0.0
-	for k, pt := range s.pts {
-		acc += s.wts[k] * s.other.CDF(x-pt)
+	if t := s.table(); t != nil {
+		return t.cdfAt(durToSec(x), s)
 	}
-	return acc
+	return s.directCDF(x)
+}
+
+// directCDF evaluates the discretized convolution, skipping atoms whose
+// argument falls outside other's support (exact 0 below; 1 up to
+// other.support's ~1e-280 mass cutoff above).
+func (s *Sum) directCDF(x time.Duration) float64 {
+	if !s.otherBounded {
+		acc := 0.0
+		for k, pt := range s.pts {
+			acc += s.wts[k] * s.other.CDF(x-pt)
+		}
+		return acc
+	}
+	j0, j1, _, wAbove := s.activeWindow(x)
+	acc := wAbove
+	// Arguments shrink with k, so the leaf CDFs decrease: once the
+	// current CDF times the remaining mass is ulp-level relative to the
+	// accumulated sum, the rest cannot move the result.
+	for k := j0; k < j1; k++ {
+		c := s.other.CDF(x - s.pts[k])
+		acc += s.wts[k] * c
+		if c*s.suffW[k+1] < acc*1e-16 {
+			break
+		}
+	}
+	return clampProb(acc)
+}
+
+// clampProb trims the ulp-level overshoot of reordered weight sums.
+func clampProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
 }
 
 // Tail returns P(A + B > x), evaluated as the weighted sum of the exact
-// operand tails so tiny probabilities keep relative precision.
+// operand tails so tiny probabilities keep relative precision. Repeatedly
+// probed Sums answer from the interpolated table; see tailtable.go.
 func (s *Sum) Tail(x time.Duration) float64 {
 	if s.base != nil {
 		return s.base.Tail(x - s.shift)
 	}
-	acc := 0.0
-	for k, pt := range s.pts {
-		acc += s.wts[k] * s.other.Tail(x-pt)
+	if t := s.table(); t != nil {
+		return t.tailAt(durToSec(x), s)
 	}
-	return acc
+	return s.directTail(x)
+}
+
+// directTail evaluates the discretized convolution, skipping atoms whose
+// argument falls outside other's support (exact 1 below; ≤1e-280,
+// dropped, above — still far below any tail the tables resolve).
+func (s *Sum) directTail(x time.Duration) float64 {
+	if !s.otherBounded {
+		acc := 0.0
+		for k, pt := range s.pts {
+			acc += s.wts[k] * s.other.Tail(x-pt)
+		}
+		return acc
+	}
+	j0, j1, wBelow, _ := s.activeWindow(x)
+	acc := wBelow
+	// Arguments grow as k decreases, so the leaf tails decrease: once the
+	// current tail times the remaining mass is ulp-level relative to the
+	// accumulated sum, the rest cannot move the result.
+	for k := j1 - 1; k >= j0; k-- {
+		tl := s.other.Tail(x - s.pts[k])
+		acc += s.wts[k] * tl
+		if tl*(s.suffW[j0]-s.suffW[k]) < acc*1e-16 {
+			break
+		}
+	}
+	return clampProb(acc)
 }
 
 // Sample draws one delay from each operand and adds them.
 func (s *Sum) Sample(rng *rand.Rand) time.Duration {
 	return s.a.Sample(rng) + s.b.Sample(rng)
 }
+
+// gaulegDefault memoizes the glPoints-order rule: every Sum
+// discretization uses the same per-panel order, so the Newton iteration
+// runs once per process instead of once per Sum.
+var gaulegDefault = sync.OnceValues(func() (x, w []float64) {
+	return gauleg(glPoints)
+})
 
 // gauleg returns the nodes and weights of the n-point Gauss-Legendre
 // rule on [−1, 1] (Newton iteration on the Legendre recurrence).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dmc/internal/conc"
 	"dmc/internal/core"
 	"dmc/internal/proto"
 )
@@ -78,32 +79,43 @@ func figure2Point(n *core.Network, x float64, cfg Figure2Config) (Fig2Point, err
 }
 
 // Figure2Top regenerates the top plot: quality vs λ ∈ {10…150} Mbps at
-// δ = 800 ms.
+// δ = 800 ms. Points are independent (per-point seeds), so the sweep
+// fans across GOMAXPROCS workers.
 func Figure2Top(cfg Figure2Config) ([]Fig2Point, error) {
-	var out []Fig2Point
-	for rate := 10.0; rate <= 150; rate += 10 {
+	out := make([]Fig2Point, 15)
+	err := conc.ForEach(len(out), func(i int) error {
+		rate := 10.0 + 10*float64(i)
 		n := TableIIINetwork(rate, 800*time.Millisecond)
 		pt, err := figure2Point(n, rate, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 2 top λ=%v: %w", rate, err)
+			return fmt.Errorf("experiments: figure 2 top λ=%v: %w", rate, err)
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Figure2Bottom regenerates the bottom plot: quality vs δ ∈ {100…1150} ms
-// at λ = 90 Mbps.
+// at λ = 90 Mbps, fanned across GOMAXPROCS workers.
 func Figure2Bottom(cfg Figure2Config) ([]Fig2Point, error) {
-	var out []Fig2Point
-	for ms := 100; ms <= 1150; ms += 50 {
+	out := make([]Fig2Point, 22)
+	err := conc.ForEach(len(out), func(i int) error {
+		ms := 100 + 50*i
 		δ := time.Duration(ms) * time.Millisecond
 		n := TableIIINetwork(90, δ)
 		pt, err := figure2Point(n, float64(ms), cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 2 bottom δ=%v: %w", δ, err)
+			return fmt.Errorf("experiments: figure 2 bottom δ=%v: %w", δ, err)
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dmc/internal/conc"
 	"dmc/internal/core"
 	"dmc/internal/proto"
 )
@@ -78,21 +79,30 @@ func Figure3(param Fig3Param, cfg Figure3Config) ([]Fig3Point, error) {
 		return nil, fmt.Errorf("experiments: unknown sensitivity parameter %v", param)
 	}
 
-	var out []Fig3Point
-	for _, e := range errs {
-		pt := Fig3Point{Error: e}
-		for _, path := range []int{0, 1} {
-			q, err := figure3Point(param, path, e, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 3 %v path %d err %v: %w", param, path+1, e, err)
-			}
-			if path == 0 {
-				pt.QualityPath1 = q
-			} else {
-				pt.QualityPath2 = q
-			}
+	// One task per (error position, afflicted path): seeds are derived
+	// per point, so the sweep fans across GOMAXPROCS workers. Error is
+	// filled up front — the two tasks of a pair share the slot and must
+	// each write only their own field.
+	out := make([]Fig3Point, len(errs))
+	for i, e := range errs {
+		out[i].Error = e
+	}
+	err := conc.ForEach(2*len(errs), func(i int) error {
+		e := errs[i/2]
+		path := i % 2
+		q, err := figure3Point(param, path, e, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: figure 3 %v path %d err %v: %w", param, path+1, e, err)
 		}
-		out = append(out, pt)
+		if path == 0 {
+			out[i/2].QualityPath1 = q
+		} else {
+			out[i/2].QualityPath2 = q
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"dmc/internal/conc"
 	"dmc/internal/core"
 )
 
@@ -29,30 +30,39 @@ func (r Table4Row) QualityPercent() float64 {
 }
 
 // Table4Top reproduces the top half of Table IV: δ = 800 ms, λ from 10 to
-// 150 Mbps in 10 Mbps steps, solved exactly.
+// 150 Mbps in 10 Mbps steps, solved exactly, one row per worker slot.
 func Table4Top() ([]Table4Row, error) {
-	var rows []Table4Row
-	for rate := int64(10); rate <= 150; rate += 10 {
+	rows := make([]Table4Row, 15)
+	err := conc.ForEach(len(rows), func(i int) error {
+		rate := int64(10 + 10*i)
 		sol, err := core.SolveQualityExact(TableIIIExact(rate, 800*time.Millisecond))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table 4 λ=%d: %w", rate, err)
+			return fmt.Errorf("experiments: table 4 λ=%d: %w", rate, err)
 		}
-		rows = append(rows, Table4Row{RateMbps: rate, Shares: sol.ActiveCombos(), Quality: sol.Quality})
+		rows[i] = Table4Row{RateMbps: rate, Shares: sol.ActiveCombos(), Quality: sol.Quality}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 // Table4Bottom reproduces the bottom half of Table IV: λ = 90 Mbps, δ from
-// 150 ms to 1200 ms in 50 ms steps, solved exactly.
+// 150 ms to 1200 ms in 50 ms steps, solved exactly in parallel.
 func Table4Bottom() ([]Table4Row, error) {
-	var rows []Table4Row
-	for ms := 150; ms <= 1200; ms += 50 {
-		δ := time.Duration(ms) * time.Millisecond
+	rows := make([]Table4Row, 22)
+	err := conc.ForEach(len(rows), func(i int) error {
+		δ := time.Duration(150+50*i) * time.Millisecond
 		sol, err := core.SolveQualityExact(TableIIIExact(90, δ))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table 4 δ=%v: %w", δ, err)
+			return fmt.Errorf("experiments: table 4 δ=%v: %w", δ, err)
 		}
-		rows = append(rows, Table4Row{Lifetime: δ, Shares: sol.ActiveCombos(), Quality: sol.Quality})
+		rows[i] = Table4Row{Lifetime: δ, Shares: sol.ActiveCombos(), Quality: sol.Quality}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Options tunes the simplex solver. The zero value selects sensible
@@ -17,6 +18,12 @@ type Options struct {
 	// BlandAfter switches pivoting from Dantzig's rule to Bland's rule
 	// after this many consecutive degenerate pivots. Zero means 20.
 	BlandAfter int
+	// AssumeValid skips the structural validation pass (dimension and
+	// NaN/Inf checks over every coefficient, O(rows·cols) per solve).
+	// Only for callers that construct problems programmatically and
+	// guarantee well-formedness; a malformed problem then produces
+	// undefined results instead of an error.
+	AssumeValid bool
 }
 
 // DefaultOptions returns the defaults applied for zero Options fields.
@@ -37,107 +44,151 @@ func (o Options) withDefaults(rows, cols int) Options {
 	return o
 }
 
-// Solve solves the problem with default options.
+// solverPool backs the package-level Solve/SolveWith wrappers so that
+// one-shot callers still reuse tableau memory across solves.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// Solve solves the problem with default options, drawing a reusable
+// Solver from an internal pool.
 func Solve(p *Problem) (*Solution, error) { return SolveWith(p, Options{}) }
 
-// SolveWith solves the problem with explicit options.
-//
-// The solver is a textbook two-phase dense tableau simplex: phase 1
-// minimizes the sum of artificial variables to find a basic feasible
-// solution (detecting infeasibility), phase 2 optimizes the real objective
-// (detecting unboundedness). Dantzig pricing is used until degeneracy is
-// detected, then Bland's rule guarantees termination.
+// SolveWith solves the problem with explicit options, drawing a reusable
+// Solver from an internal pool.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-
-	// Drop vacuous rows (e.g. ≤ +Inf used for the blackhole path's
-	// unlimited bandwidth).
-	rows := make([]Constraint, 0, len(p.Constraints))
-	vacuous := 0
-	for _, c := range p.Constraints {
-		if math.IsInf(c.RHS, 0) {
-			vacuous++
-			continue
-		}
-		rows = append(rows, c)
-	}
-
-	n := p.NumVars()
-	m := len(rows)
-	opts = opts.withDefaults(m, n)
-
-	t := newTableau(p, rows, opts)
-	sol, err := t.solve()
-	if err != nil {
-		return nil, err
-	}
-	if sol.Status == Optimal && vacuous > 0 {
-		// Re-expand duals to original constraint indexing.
-		full := make([]float64, len(p.Constraints))
-		k := 0
-		for i, c := range p.Constraints {
-			if math.IsInf(c.RHS, 0) {
-				full[i] = 0
-				continue
-			}
-			full[i] = sol.Dual[k]
-			k++
-		}
-		sol.Dual = full
-	}
-	return sol, nil
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveWith(p, opts)
+	solverPool.Put(s)
+	return sol, err
 }
 
-// tableau is the dense simplex working state.
+// Solver is a reusable two-phase dense simplex solver. It owns the
+// tableau, basis, and reduced-cost workspaces and reuses them across
+// solves, so repeated solves of same-shaped problems allocate only the
+// returned Solution. The zero value is ready to use; a Solver must not
+// be used concurrently from multiple goroutines (use one per worker, or
+// the pooled package-level Solve).
 //
-// Column layout: [0,n) structural variables, [n, n+nSlack) slack/surplus,
-// [n+nSlack, n+nSlack+nArt) artificial. The RHS is stored separately.
-type tableau struct {
-	p    *Problem
+// The algorithm is a textbook two-phase dense tableau simplex: phase 1
+// minimizes the sum of artificial variables to find a basic feasible
+// solution (detecting infeasibility), phase 2 optimizes the real
+// objective (detecting unboundedness). Dantzig pricing is used until
+// degeneracy is detected, then Bland's rule guarantees termination. The
+// tableau is stored flat in row-major order so pivot loops run over
+// contiguous memory.
+type Solver struct {
 	opts Options
 
-	m, n   int // constraint rows, structural variables
+	m, n   int // constraint rows (kept), structural variables
 	nSlack int
 	nArt   int
+	total  int // columns: n + nSlack + nArt
+	artCol int // first artificial column
+	sign   float64
 
-	a     [][]float64 // m rows × totalCols
-	b     []float64   // RHS, kept ≥ 0
-	scale []float64   // row equilibration factors (original row = scale[i] × stored row)
-	basis []int       // basis[i] = column basic in row i
+	a     []float64 // m × total, flat row-major
+	b     []float64 // RHS, kept ≥ 0
+	scale []float64 // row equilibration factors
+	flip  []float64 // -1 where the row was sign-flipped for negative RHS
+	rel   []Relation
+	orig  []int // kept row → original constraint index
+	basis []int // basis[i] = column basic in row i
 
-	obj    []float64 // phase-2 objective over all columns (maximization form)
-	sign   float64   // +1 if original sense is Maximize, -1 if Minimize
-	artCol int       // first artificial column
+	obj  []float64 // phase-2 objective over all columns (maximization form)
+	z    []float64 // reduced-cost row workspace
+	work []float64 // phase-1 objective / scratch reduced-cost row
 
 	iters      int
 	degenerate int // consecutive degenerate pivots
 }
 
-func newTableau(p *Problem, rows []Constraint, opts Options) *tableau {
-	n := p.NumVars()
-	m := len(rows)
-	t := &tableau{p: p, opts: opts, m: m, n: n}
+// NewSolver returns a reusable Solver with default options.
+func NewSolver() *Solver { return &Solver{} }
 
-	// Count slack and artificial columns. Sign-flip rows with negative RHS
-	// first so b ≥ 0 throughout.
-	type rowPlan struct {
-		coeffs []float64
-		rhs    float64
-		rel    Relation
+// grow resizes a workspace buffer to n entries, reusing capacity.
+// Contents are unspecified; callers overwrite every entry they read.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
-	plans := make([]rowPlan, m)
-	t.scale = make([]float64, m)
-	for i, c := range rows {
-		coeffs := make([]float64, n)
-		copy(coeffs, c.Coeffs)
+	return buf[:n]
+}
+
+// Solve solves the problem with the solver's default options.
+func (s *Solver) Solve(p *Problem) (*Solution, error) { return s.SolveWith(p, Options{}) }
+
+// SolveWith solves the problem, reusing the solver's workspaces.
+func (s *Solver) SolveWith(p *Problem, opts Options) (*Solution, error) {
+	if !opts.AssumeValid {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+	}
+	s.load(p, opts)
+	return s.run(p)
+}
+
+// load normalizes the problem into the solver's flat tableau: vacuous
+// rows (≤ +Inf) dropped, negative RHS sign-flipped so b ≥ 0, rows
+// equilibrated by their largest coefficient magnitude, slack/surplus and
+// artificial columns appended, and the initial basis chosen.
+func (s *Solver) load(p *Problem, opts Options) {
+	n := p.NumVars()
+
+	// First pass: count kept rows and auxiliary columns.
+	m, nSlack, nArt := 0, 0, 0
+	for _, c := range p.Constraints {
+		if math.IsInf(c.RHS, 0) {
+			continue
+		}
+		m++
+		rel := c.Rel
+		if c.RHS < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel == LE || rel == GE {
+			nSlack++
+		}
+		if rel != LE {
+			nArt++
+		}
+	}
+
+	s.m, s.n, s.nSlack, s.nArt = m, n, nSlack, nArt
+	s.total = n + nSlack + nArt
+	s.artCol = n + nSlack
+	s.opts = opts.withDefaults(m, n)
+	s.iters, s.degenerate = 0, 0
+
+	s.a = grow(s.a, m*s.total)
+	s.b = grow(s.b, m)
+	s.scale = grow(s.scale, m)
+	s.flip = grow(s.flip, m)
+	s.rel = grow(s.rel, m)
+	s.orig = grow(s.orig, m)
+	s.basis = grow(s.basis, m)
+	s.obj = grow(s.obj, s.total)
+	s.z = grow(s.z, s.total)
+	s.work = grow(s.work, s.total)
+
+	// Second pass: fill rows.
+	slack, art := n, s.artCol
+	i := 0
+	for ci, c := range p.Constraints {
+		if math.IsInf(c.RHS, 0) {
+			continue
+		}
+		row := s.a[i*s.total : (i+1)*s.total]
+		clear(row[n:]) // structural columns are overwritten below
+		flip := 1.0
 		rhs := c.RHS
 		rel := c.Rel
 		if rhs < 0 {
-			for j := range coeffs {
-				coeffs[j] = -coeffs[j]
-			}
+			flip = -1
 			rhs = -rhs
 			switch rel {
 			case LE:
@@ -150,90 +201,65 @@ func newTableau(p *Problem, rows []Constraint, opts Options) *tableau {
 		// magnitude so rows in wildly different units (bits/s bandwidth
 		// next to unit-scale probabilities) carry comparable weight in
 		// the feasibility test and pivoting.
-		sc := 0.0
-		for _, a := range coeffs {
+		sc := math.Abs(rhs)
+		for _, a := range c.Coeffs {
 			if abs := math.Abs(a); abs > sc {
 				sc = abs
 			}
 		}
-		if abs := math.Abs(rhs); abs > sc {
-			sc = abs
-		}
 		if sc == 0 {
 			sc = 1
 		}
-		inv := 1 / sc
-		for j := range coeffs {
-			coeffs[j] *= inv
+		inv := flip / sc
+		for j, a := range c.Coeffs {
+			row[j] = a * inv
 		}
-		rhs *= inv
-		t.scale[i] = sc
-		plans[i] = rowPlan{coeffs, rhs, rel}
+		s.b[i] = rhs / sc
+		s.scale[i] = sc
+		s.flip[i] = flip
+		s.rel[i] = rel
+		s.orig[i] = ci
 		switch rel {
-		case LE, GE:
-			t.nSlack++
-		}
-	}
-	// Artificials: one per GE and EQ row. LE rows start with their slack
-	// basic, which is feasible because b ≥ 0.
-	for _, pl := range plans {
-		if pl.rel != LE {
-			t.nArt++
-		}
-	}
-
-	total := n + t.nSlack + t.nArt
-	t.artCol = n + t.nSlack
-	t.a = make([][]float64, m)
-	t.b = make([]float64, m)
-	t.basis = make([]int, m)
-
-	slack := n
-	art := t.artCol
-	for i, pl := range plans {
-		row := make([]float64, total)
-		copy(row, pl.coeffs)
-		t.b[i] = pl.rhs
-		switch pl.rel {
 		case LE:
 			row[slack] = 1
-			t.basis[i] = slack
+			s.basis[i] = slack
 			slack++
 		case GE:
 			row[slack] = -1
 			slack++
 			row[art] = 1
-			t.basis[i] = art
+			s.basis[i] = art
 			art++
 		case EQ:
 			row[art] = 1
-			t.basis[i] = art
+			s.basis[i] = art
 			art++
 		}
-		t.a[i] = row
+		i++
 	}
 
-	t.sign = 1
+	s.sign = 1
 	if p.Sense == Minimize {
-		t.sign = -1
+		s.sign = -1
 	}
-	t.obj = make([]float64, total)
+	clear(s.obj)
 	for j := 0; j < n; j++ {
-		t.obj[j] = t.sign * p.Objective[j]
+		s.obj[j] = s.sign * p.Objective[j]
 	}
-	return t
 }
 
-func (t *tableau) solve() (*Solution, error) {
-	tol := t.opts.Tol
+// run executes both phases and extracts the solution.
+func (s *Solver) run(p *Problem) (*Solution, error) {
+	tol := s.opts.Tol
 
-	if t.nArt > 0 {
+	if s.nArt > 0 {
 		// Phase 1: maximize -(sum of artificials).
-		phase1 := make([]float64, len(t.obj))
-		for j := t.artCol; j < len(t.obj); j++ {
+		phase1 := s.work
+		clear(phase1)
+		for j := s.artCol; j < s.total; j++ {
 			phase1[j] = -1
 		}
-		status, err := t.optimize(phase1, true)
+		status, err := s.optimize(phase1, true)
 		if err != nil {
 			return nil, err
 		}
@@ -242,29 +268,29 @@ func (t *tableau) solve() (*Solution, error) {
 			return nil, fmt.Errorf("lp: internal error: phase 1 unbounded")
 		}
 		var artSum float64
-		for i, col := range t.basis {
-			if col >= t.artCol {
-				artSum += t.b[i]
+		for i, col := range s.basis {
+			if col >= s.artCol {
+				artSum += s.b[i]
 			}
 		}
-		if artSum > tol*(1+norm1(t.b)) {
-			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+		if artSum > tol*(1+norm1(s.b[:s.m])) {
+			return &Solution{Status: Infeasible, Iterations: s.iters}, nil
 		}
-		t.driveOutArtificials()
+		s.driveOutArtificials()
 	}
 
-	status, err := t.optimize(t.obj, false)
+	status, err := s.optimize(s.obj, false)
 	if err != nil {
 		return nil, err
 	}
 	if status == Unbounded {
-		return &Solution{Status: Unbounded, Iterations: t.iters}, nil
+		return &Solution{Status: Unbounded, Iterations: s.iters}, nil
 	}
 
-	x := make([]float64, t.n)
-	for i, col := range t.basis {
-		if col < t.n {
-			x[col] = t.b[i]
+	x := make([]float64, s.n)
+	for i, col := range s.basis {
+		if col < s.n {
+			x[col] = s.b[i]
 		}
 	}
 	// Clamp tiny negatives introduced by roundoff.
@@ -274,49 +300,46 @@ func (t *tableau) solve() (*Solution, error) {
 		}
 	}
 
-	sol := &Solution{
+	return &Solution{
 		Status:     Optimal,
 		X:          x,
-		Objective:  t.p.Value(x),
-		Dual:       t.extractDuals(),
-		Iterations: t.iters,
-	}
-	return sol, nil
+		Objective:  p.Value(x),
+		Dual:       s.extractDuals(p),
+		Iterations: s.iters,
+	}, nil
 }
 
 // optimize runs simplex pivots until the reduced costs certify optimality
 // for the given maximization objective, or unboundedness is detected.
 // phase1 restricts leaving-variable preference to kick artificials out.
-func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
-	tol := t.opts.Tol
+func (s *Solver) optimize(obj []float64, phase1 bool) (Status, error) {
+	tol := s.opts.Tol
 	// z holds the current reduced-cost row: obj - cB·B⁻¹A, maintained by
 	// eliminating basic columns.
-	z := make([]float64, len(obj))
+	z := s.z
 	copy(z, obj)
-	zval := 0.0
-	for i, col := range t.basis {
+	for i, col := range s.basis {
 		if z[col] != 0 {
 			c := z[col]
-			row := t.a[i]
+			row := s.a[i*s.total : (i+1)*s.total]
 			for j := range z {
 				z[j] -= c * row[j]
 			}
-			zval += c * t.b[i]
 		}
 	}
 
-	limit := len(obj)
+	limit := s.total
 	if !phase1 {
 		// Never let artificials re-enter in phase 2.
-		limit = t.artCol
+		limit = s.artCol
 	}
 
 	for {
-		if t.iters >= t.opts.MaxIter {
-			return 0, fmt.Errorf("lp: iteration limit %d exceeded (cycling?)", t.opts.MaxIter)
+		if s.iters >= s.opts.MaxIter {
+			return 0, fmt.Errorf("lp: iteration limit %d exceeded (cycling?)", s.opts.MaxIter)
 		}
 
-		useBland := t.degenerate >= t.opts.BlandAfter
+		useBland := s.degenerate >= s.opts.BlandAfter
 		enter := -1
 		if useBland {
 			for j := 0; j < limit; j++ {
@@ -327,9 +350,9 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
 			}
 		} else {
 			best := tol
-			for j := 0; j < limit; j++ {
-				if z[j] > best {
-					best = z[j]
+			for j, zj := range z[:limit] {
+				if zj > best {
+					best = zj
 					enter = j
 				}
 			}
@@ -341,14 +364,14 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
 		// Ratio test.
 		leave := -1
 		var minRatio float64
-		for i := 0; i < t.m; i++ {
-			aij := t.a[i][enter]
+		for i := 0; i < s.m; i++ {
+			aij := s.a[i*s.total+enter]
 			if aij <= tol {
 				continue
 			}
-			ratio := t.b[i] / aij
+			ratio := s.b[i] / aij
 			if leave < 0 || ratio < minRatio-tol ||
-				(math.Abs(ratio-minRatio) <= tol && t.betterLeave(i, leave, useBland)) {
+				(math.Abs(ratio-minRatio) <= tol && s.betterLeave(i, leave, useBland)) {
 				leave = i
 				minRatio = ratio
 			}
@@ -357,13 +380,13 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
 			return Unbounded, nil
 		}
 		if minRatio <= tol {
-			t.degenerate++
+			s.degenerate++
 		} else {
-			t.degenerate = 0
+			s.degenerate = 0
 		}
 
-		t.pivot(leave, enter, z)
-		t.iters++
+		s.pivot(leave, enter, z)
+		s.iters++
 	}
 }
 
@@ -371,12 +394,12 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, error) {
 // column wins (required for the anti-cycling guarantee); otherwise prefer
 // kicking out artificial columns, then the larger pivot element for
 // numerical stability.
-func (t *tableau) betterLeave(cand, cur int, bland bool) bool {
+func (s *Solver) betterLeave(cand, cur int, bland bool) bool {
 	if bland {
-		return t.basis[cand] < t.basis[cur]
+		return s.basis[cand] < s.basis[cur]
 	}
-	candArt := t.basis[cand] >= t.artCol
-	curArt := t.basis[cur] >= t.artCol
+	candArt := s.basis[cand] >= s.artCol
+	curArt := s.basis[cur] >= s.artCol
 	if candArt != curArt {
 		return candArt
 	}
@@ -385,42 +408,42 @@ func (t *tableau) betterLeave(cand, cur int, bland bool) bool {
 
 // pivot performs a Gauss–Jordan pivot on (leave, enter) and updates the
 // reduced-cost row z in place.
-func (t *tableau) pivot(leave, enter int, z []float64) {
-	prow := t.a[leave]
+func (s *Solver) pivot(leave, enter int, z []float64) {
+	prow := s.a[leave*s.total : (leave+1)*s.total]
 	pv := prow[enter]
 	inv := 1 / pv
 	for j := range prow {
 		prow[j] *= inv
 	}
-	t.b[leave] *= inv
+	s.b[leave] *= inv
 	prow[enter] = 1 // exact
 
-	for i := 0; i < t.m; i++ {
+	for i := 0; i < s.m; i++ {
 		if i == leave {
 			continue
 		}
-		f := t.a[i][enter]
+		row := s.a[i*s.total : (i+1)*s.total]
+		f := row[enter]
 		if f == 0 {
 			continue
 		}
-		row := t.a[i]
-		for j := range row {
-			row[j] -= f * prow[j]
+		for j, pj := range prow {
+			row[j] -= f * pj
 		}
 		row[enter] = 0 // exact
-		t.b[i] -= f * t.b[leave]
-		if t.b[i] < 0 && t.b[i] > -t.opts.Tol {
-			t.b[i] = 0
+		s.b[i] -= f * s.b[leave]
+		if s.b[i] < 0 && s.b[i] > -s.opts.Tol {
+			s.b[i] = 0
 		}
 	}
 	f := z[enter]
 	if f != 0 {
-		for j := range z {
-			z[j] -= f * prow[j]
+		for j, pj := range prow {
+			z[j] -= f * pj
 		}
 		z[enter] = 0
 	}
-	t.basis[leave] = enter
+	s.basis[leave] = enter
 }
 
 // driveOutArtificials pivots basic artificial variables (necessarily at
@@ -428,14 +451,15 @@ func (t *tableau) pivot(leave, enter int, z []float64) {
 // column with a nonzero entry exists; rows with no such column are
 // redundant and are left with the artificial basic at zero, pinned by
 // excluding artificials from phase-2 entering columns.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < t.artCol {
+func (s *Solver) driveOutArtificials() {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.artCol {
 			continue
 		}
 		enter := -1
-		for j := 0; j < t.artCol; j++ {
-			if math.Abs(t.a[i][j]) > t.opts.Tol {
+		row := s.a[i*s.total : (i+1)*s.total]
+		for j := 0; j < s.artCol; j++ {
+			if math.Abs(row[j]) > s.opts.Tol {
 				enter = j
 				break
 			}
@@ -443,80 +467,45 @@ func (t *tableau) driveOutArtificials() {
 		if enter < 0 {
 			continue
 		}
-		dummy := make([]float64, len(t.a[i]))
-		t.pivot(i, enter, dummy)
-		t.iters++
+		dummy := s.work
+		clear(dummy)
+		s.pivot(i, enter, dummy)
+		s.iters++
 	}
 }
 
 // extractDuals recovers constraint multipliers from the final reduced
 // costs. For row i with slack column s(i): y_i = sign * (c_s - z_s) where
-// c_s = 0, i.e. y_i = -sign*z_s with z recomputed for the phase-2
-// objective; for equality rows (no slack) the dual comes from the
-// artificial column. Duals are reported in the problem's original sense.
-func (t *tableau) extractDuals() []float64 {
-	z := make([]float64, len(t.obj))
-	copy(z, t.obj)
-	for i, col := range t.basis {
-		if z[col] != 0 {
-			c := z[col]
-			row := t.a[i]
-			for j := range z {
-				z[j] -= c * row[j]
-			}
-		}
-	}
+// c_s = 0, i.e. y_i = -sign*z_s for the phase-2 objective; for equality
+// rows (no slack) the dual comes from the artificial column. Duals are
+// reported in the problem's original sense and original constraint
+// indexing (vacuous rows get 0). s.z still holds the phase-2 reduced
+// costs at termination (optimize maintains it through every pivot and
+// nothing pivots afterwards), so no re-elimination pass is needed.
+func (s *Solver) extractDuals(p *Problem) []float64 {
+	z := s.z
 	// Attribute auxiliary columns to original rows by replaying the column
-	// assignment order of newTableau; negative-RHS sign flips are undone
-	// via the per-row flip factor, and row equilibration via scale.
-	duals := make([]float64, t.m)
-	slack := t.n
-	art := t.artCol
-	for i, c := range t.constraintsPlanned() {
-		switch c.rel {
+	// assignment order of load; negative-RHS sign flips are undone via the
+	// per-row flip factor, and row equilibration via scale.
+	duals := make([]float64, len(p.Constraints))
+	slack, art := s.n, s.artCol
+	for i := 0; i < s.m; i++ {
+		var y float64
+		switch s.rel[i] {
 		case LE:
-			duals[i] = -t.sign * z[slack] * c.flip / t.scale[i]
+			y = -s.sign * z[slack] * s.flip[i] / s.scale[i]
 			slack++
 		case GE:
-			duals[i] = t.sign * z[slack] * c.flip / t.scale[i]
+			y = s.sign * z[slack] * s.flip[i] / s.scale[i]
 			slack++
 			art++
 		case EQ:
-			duals[i] = -t.sign * z[art] * c.flip / t.scale[i]
+			y = -s.sign * z[art] * s.flip[i] / s.scale[i]
 			art++
 		}
+		duals[s.orig[i]] = y
 	}
 	return duals
-}
-
-type plannedRow struct {
-	rel  Relation
-	flip float64 // -1 if the row was sign-flipped for negative RHS
-}
-
-// constraintsPlanned replays the row normalization done in newTableau so
-// dual extraction can attribute auxiliary columns to original rows.
-func (t *tableau) constraintsPlanned() []plannedRow {
-	out := make([]plannedRow, 0, t.m)
-	for _, c := range t.p.Constraints {
-		if math.IsInf(c.RHS, 0) {
-			continue
-		}
-		pr := plannedRow{rel: c.Rel, flip: 1}
-		if c.RHS < 0 {
-			pr.flip = -1
-			switch c.Rel {
-			case LE:
-				pr.rel = GE
-			case GE:
-				pr.rel = LE
-			default:
-				pr.rel = EQ
-			}
-		}
-		out = append(out, pr)
-	}
-	return out
 }
 
 func norm1(v []float64) float64 {

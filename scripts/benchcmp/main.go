@@ -1,0 +1,184 @@
+// Command benchcmp diffs `go test -bench` output against a JSON baseline
+// snapshot (BENCH_baseline.json style) and flags ns/op regressions.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./scripts/benchcmp \
+//	    -baseline BENCH_baseline.json [-threshold 25] [-write BENCH_new.json]
+//
+// Bench output is read from stdin (or -in). Exit status is 1 when any
+// benchmark regresses by more than -threshold percent in ns/op; new or
+// vanished benchmarks are reported but never fail the run. The CI
+// bench-regress job runs this non-blocking so perf drift stays visible
+// on every PR without gating merges on a noisy shared runner.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// entry mirrors one benchmark record of the baseline JSON.
+type entry struct {
+	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"B_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// baseline mirrors BENCH_baseline.json.
+type baseline struct {
+	Note       string           `json:"note,omitempty"`
+	Date       string           `json:"date,omitempty"`
+	Go         string           `json:"go,omitempty"`
+	Benchtime  string           `json:"benchtime,omitempty"`
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	Pkg        string           `json:"pkg,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkFoo/case=1-8  123  456.7 ns/op  89 B/op  10 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.e+]+) ns/op(.*)$`)
+
+var metricRe = regexp.MustCompile(`([\d.e+]+) (\S+)`)
+
+func parseBench(r io.Reader) (map[string]entry, []string, error) {
+	out := map[string]entry{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Iterations: iters, NsPerOp: ns}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "B/op":
+				e.BPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if _, seen := out[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		out[m[1]] = e
+	}
+	return out, order, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON snapshot to compare against")
+	in := flag.String("in", "-", "bench output file (- for stdin)")
+	threshold := flag.Float64("threshold", 25, "ns/op regression percentage that fails the run")
+	write := flag.String("write", "", "also write the parsed results as a new JSON snapshot")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	got, order, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+
+	regressed := 0
+	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range order {
+		cur := got[name]
+		old, ok := base.Benchmarks[name]
+		if !ok || old.NsPerOp == 0 {
+			fmt.Printf("%-55s %14s %14.0f %9s\n", name, "(new)", cur.NsPerOp, "")
+			continue
+		}
+		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta, mark)
+	}
+	var gone []string
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-55s %14.0f %14s\n", name, base.Benchmarks[name].NsPerOp, "(missing)")
+	}
+
+	if *write != "" {
+		snap := baseline{
+			Note:       "Benchmark snapshot produced by scripts/benchcmp; compare with BENCH_baseline.json.",
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			Go:         runtime.Version(),
+			Goos:       runtime.GOOS,
+			Goarch:     runtime.GOARCH,
+			Pkg:        "dmc",
+			Benchmarks: got,
+		}
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*write, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d benchmarks to %s\n", len(got), *write)
+	}
+
+	if regressed > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nno ns/op regressions beyond %.0f%%\n", *threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(2)
+}
