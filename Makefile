@@ -29,6 +29,7 @@ test:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSolveSmallLP$$' -fuzztime=$(FUZZTIME) ./internal/lp
+	$(GO) test -run='^$$' -fuzz='^FuzzPruner$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadNetwork$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadSimulation$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 
@@ -42,9 +43,11 @@ BENCHTIME ?= 1s
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .
 
-# Runs the root benchmarks and diffs ns/op against BENCH_baseline.json,
-# failing on >25% regressions. Override BENCHTIME (e.g. 100ms) for a
-# quicker, noisier pass; set BENCH_WRITE to also snapshot the results.
+# Runs the root benchmarks and diffs ns/op against BENCH_baseline.json:
+# >25% regressions in the solve-core benchmarks (benchcmp's -critical
+# set) fail the run, regressions in sweep/simulation benchmarks only
+# warn. Override BENCHTIME (e.g. 100ms) for a quicker, noisier pass;
+# set BENCH_WRITE to also snapshot the results.
 BENCH_WRITE ?=
 bench-compare:
 	set -o pipefail; \

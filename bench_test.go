@@ -164,6 +164,33 @@ func BenchmarkFigure4Solve(b *testing.B) {
 	}
 }
 
+// BenchmarkScalabilitySolve measures the scalable dispatch past
+// Figure 4's sizes: pruned dense enumeration and column generation on
+// combination spaces up to 2.8M (paths=40/trans=4), which dense
+// enumeration cannot reasonably materialize. One fixed random instance
+// per size, solved with a reusable solver.
+func BenchmarkScalabilitySolve(b *testing.B) {
+	for _, size := range []struct{ paths, trans int }{
+		{15, 3}, // 4096 combos: dominance-pruned dense
+		{10, 4}, // 14641: column generation
+		{20, 4}, // 194481: column generation
+		{40, 4}, // 2.8M: column generation
+	} {
+		b.Run(fmt.Sprintf("paths=%d/trans=%d", size.paths, size.trans), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(7, uint64(size.paths*10+size.trans)))
+			n := experiments.RandomNetwork(rng, size.paths, size.trans)
+			solver := core.NewSolver()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveQuality(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSolverAblation compares the float simplex against the exact
 // rational simplex (the CGAL analogue) on the Table IV instance.
 func BenchmarkSolverAblation(b *testing.B) {

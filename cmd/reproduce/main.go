@@ -37,6 +37,7 @@ func run(args []string) error {
 		exp2     = fs.Bool("exp2", false, "Experiment 2: random delays, optimized timeouts")
 		fig3     = fs.Bool("fig3", false, "Figure 3: sensitivity to estimation errors")
 		fig4     = fs.Bool("fig4", false, "Figure 4: LP solve times vs problem size")
+		scale    = fs.Bool("scalability", false, "scalability sweep: pruning/column-generation dispatch, paths 10–40, m 3–5")
 		ablation = fs.Bool("ablation", false, "scheduler / solver / ack-scheme ablations")
 		messages = fs.Int("messages", experiments.FullMessageCount, "messages per simulation run")
 		seed     = fs.Uint64("seed", 1, "base random seed")
@@ -47,9 +48,9 @@ func run(args []string) error {
 		return err
 	}
 	if *all {
-		*table4, *fig2, *exp2, *fig3, *fig4, *ablation = true, true, true, true, true, true
+		*table4, *fig2, *exp2, *fig3, *fig4, *scale, *ablation = true, true, true, true, true, true, true
 	}
-	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*ablation {
+	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*scale && !*ablation {
 		fs.Usage()
 		return fmt.Errorf("select experiments (or -all)")
 	}
@@ -151,6 +152,19 @@ func run(args []string) error {
 		}
 		fmt.Print(experiments.RenderFigure4(pts))
 		if err := writeCSV("figure4.csv", experiments.Fig4CSV(pts)); err != nil {
+			return err
+		}
+		done()
+	}
+
+	if *scale {
+		done := section("Scalability: dense / pruned / column-generation dispatch beyond Figure 4's sizes")
+		pts, err := experiments.Scalability(experiments.ScalabilityConfig{Seed: *seed, VerifyDense: true})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScalability(pts))
+		if err := writeCSV("scalability.csv", experiments.ScalabilityCSV(pts)); err != nil {
 			return err
 		}
 		done()

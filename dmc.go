@@ -22,10 +22,13 @@
 //
 // # Layers
 //
-// Solving: SolveQuality (maximize delivered-in-time fraction, Eq. 10),
-// SolveMinCost (§VI-A), SolveQualityRandom + OptimalTimeouts (§VI-B
-// random delays, Eq. 26–34), SolveQualityExact (exact rational
-// arithmetic, as the paper's CGAL setup).
+// Solving: SolveQuality (maximize delivered-in-time fraction, Eq. 10,
+// auto-dispatching between dense enumeration, dominance pruning, and
+// column generation by problem size), SolveQualityCG (the
+// column-generation core, for combination spaces dense enumeration
+// cannot materialize), SolveMinCost (§VI-A), SolveQualityRandom +
+// OptimalTimeouts (§VI-B random delays, Eq. 26–34), SolveQualityExact
+// (exact rational arithmetic, as the paper's CGAL setup).
 //
 // Scheduling: NewDeficit implements the paper's Algorithm 1, mapping the
 // solved split to per-packet decisions.
@@ -85,6 +88,21 @@ type (
 	// same-shaped networks allocate almost nothing after warmup. Not safe
 	// for concurrent use; use one per goroutine, or SolveMany.
 	Solver = core.Solver
+	// SolveStats records which solve core ran (dense enumeration,
+	// dominance-pruned dense, or column generation) and what it cost.
+	SolveStats = core.SolveStats
+	// Dispatch names a solve core in SolveStats.
+	Dispatch = core.Dispatch
+)
+
+// Dispatch values reported in Solution.Stats.
+const (
+	// DispatchDense is plain dense enumeration of every combination.
+	DispatchDense = core.DispatchDense
+	// DispatchPruned is dense enumeration after dominance pruning.
+	DispatchPruned = core.DispatchPruned
+	// DispatchCG is column generation over a restricted master problem.
+	DispatchCG = core.DispatchCG
 )
 
 // §IX extensions: load-dependent characteristics and risk adjustment.
@@ -181,8 +199,19 @@ func NewNetwork(rate float64, lifetime time.Duration, paths ...Path) *Network {
 }
 
 // SolveQuality maximizes the communication quality Q (Eq. 10) with a
-// pooled reusable solver.
+// pooled reusable solver. Dispatch scales automatically with the
+// combination count (n+1)^m: dense enumeration for small spaces,
+// dominance-pruned enumeration for mid-size ones, and column generation
+// (SolveQualityCG) beyond that — 40 paths at 4 transmissions solves in
+// tens of milliseconds. Solution.Stats reports which core ran.
 func SolveQuality(n *Network) (*Solution, error) { return core.SolveQuality(n) }
+
+// SolveQualityCG solves the quality maximization by column generation
+// over a restricted master problem, pricing columns from the simplex
+// duals without materializing the (n+1)^m combination space. It reaches
+// the same optimum as dense enumeration; most callers want SolveQuality,
+// which dispatches here automatically for large instances.
+func SolveQualityCG(n *Network) (*Solution, error) { return core.SolveQualityCG(n) }
 
 // NewSolver returns a reusable Solver for hot loops that solve many
 // same-shaped networks (adaptive re-solves, sweeps): tableau, basis, and

@@ -149,6 +149,41 @@ func TestFacadeErrInfeasible(t *testing.T) {
 	}
 }
 
+// TestFacadeScalableSolve: the public API must solve a network far past
+// the dense n^m limit through the automatic CG dispatch, report the
+// dispatch in Stats, and agree with the explicit CG entry point.
+func TestFacadeScalableSolve(t *testing.T) {
+	paths := make([]dmc.Path, 40)
+	for i := range paths {
+		paths[i] = dmc.Path{
+			Bandwidth: 50 * dmc.Mbps,
+			Delay:     time.Duration(50+10*i) * time.Millisecond,
+			Loss:      0.01 * float64(i%10),
+			Cost:      float64(i % 5),
+		}
+	}
+	network := dmc.NewNetwork(1500*dmc.Mbps, time.Second, paths...)
+	network.Transmissions = 4
+
+	sol, err := dmc.SolveQuality(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Dispatch != dmc.DispatchCG {
+		t.Errorf("dispatch = %v, want %v", sol.Stats.Dispatch, dmc.DispatchCG)
+	}
+	if sol.Quality <= 0 || sol.Quality > 1 {
+		t.Errorf("quality = %v", sol.Quality)
+	}
+	direct, err := dmc.SolveQualityCG(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Quality != sol.Quality {
+		t.Errorf("SolveQualityCG quality %v != dispatched %v", direct.Quality, sol.Quality)
+	}
+}
+
 func TestFacadeLoadAwareAndRisk(t *testing.T) {
 	network := dmc.NewNetwork(90*dmc.Mbps, 800*time.Millisecond,
 		dmc.Path{Bandwidth: 80 * dmc.Mbps, Delay: 450 * time.Millisecond, Loss: 0.2},

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dmc/internal/lp"
+)
+
+// Column-generation parameters. The restricted master starts from a
+// small greedy seed and alternates LP solves with exact pricing over
+// the un-materialized combination space until no column prices
+// positive; with a per-iteration batch of columns the iteration count
+// stays near the row count, so the cap is a diverged-numerics backstop,
+// not a tuning knob.
+const (
+	cgMaxIterations  = 400
+	cgPriceTol       = 1e-9 // reduced-cost threshold: bounds the optimality gap (Σx′ = 1)
+	cgColumnsPerIter = 32
+)
+
+// SolveQualityCG solves the quality maximization by column generation
+// with a pooled reusable Solver; see Solver.SolveQualityCG.
+func SolveQualityCG(n *Network) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveQualityCG(n)
+	solverPool.Put(s)
+	return sol, err
+}
+
+// colSet is the dynamically grown column pool of the restricted master,
+// deduplicated by packed combination key.
+type colSet struct {
+	cols columns
+	keys []uint64
+	pos  map[uint64]int
+}
+
+func newColSet() *colSet {
+	return &colSet{pos: make(map[uint64]int)}
+}
+
+// add evaluates and appends combo's column unless it is already pooled.
+func (cs *colSet) add(m *model, combo []int) bool {
+	key := m.packKey(combo)
+	if _, ok := cs.pos[key]; ok {
+		return false
+	}
+	cs.pos[key] = cs.cols.len()
+	cs.keys = append(cs.keys, key)
+	cs.cols.appendColumn(m, combo)
+	return true
+}
+
+// SolveQualityCG solves the deterministic-delay quality maximization
+// (Eq. 10) without materializing the (n+1)^m combination space: a
+// restricted master problem over a generated column pool is solved with
+// the reusable simplex, and new columns are priced from its duals by an
+// exact branch-and-bound oracle over the odometer space. Terminates at
+// the true LP optimum — the oracle proves no combination has positive
+// reduced cost — so the result matches dense enumeration to solver
+// tolerance wherever both are tractable, while scaling to path counts
+// dense enumeration cannot touch (40 paths × 4 transmissions is a
+// 2.8M-combination space; the master typically sees a few hundred).
+//
+// Most callers want SolveQuality, which dispatches here automatically
+// above the dense threshold.
+func (s *Solver) SolveQualityCG(n *Network) (*Solution, error) {
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, err
+	}
+	cs := newColSet()
+	m.seedColumns(cs, s.scratch(m.m))
+	hasCost := !math.IsInf(m.net.CostBound, 1)
+
+	pr := newPricer(m)
+	var prob *lp.Problem
+	var lpSol *lp.Solution
+	iters := 0
+	for {
+		iters++
+		if iters > cgMaxIterations {
+			return nil, fmt.Errorf("core: column generation did not converge within %d iterations", cgMaxIterations)
+		}
+		prob = m.assembleProblem(lp.Maximize, cs.cols.delivery, &cs.cols, nil, true)
+		lpSol, err = s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: solving restricted master: %w", err)
+		}
+		if lpSol.Status != lp.Optimal {
+			return nil, fmt.Errorf("core: restricted master unexpectedly %v", lpSol.Status)
+		}
+
+		// Dual layout follows assembleProblem's row order: one bandwidth
+		// row per real path, the cost row when the budget is finite, the
+		// conservation row last.
+		duals := lpSol.Dual
+		yCost := 0.0
+		next := m.base - 1
+		if hasCost {
+			yCost = duals[next]
+			next++
+		}
+		y0 := duals[next]
+		pr.reprice(lpSol.Dual[:m.base-1], yCost, y0)
+
+		added := 0
+		for _, cand := range pr.price() {
+			if cs.add(m, cand) {
+				added++
+			}
+		}
+		if added == 0 {
+			break // oracle certifies: no combination prices positive
+		}
+	}
+
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters}
+	return sol, nil
+}
+
+// seedColumns primes the restricted master: the all-blackhole column
+// (which keeps the conservation row feasible at every iteration), one
+// single-attempt column per real path, and one greedy chain per
+// starting path that extends with the in-time path of largest marginal
+// delivery — a cheap approximation of the columns an optimal basis
+// tends to use.
+func (m *model) seedColumns(cs *colSet, scratch []int) {
+	combo := scratch[:m.m]
+	clearDigits := func(from int) {
+		for k := from; k < m.m; k++ {
+			combo[k] = 0
+		}
+	}
+
+	clearDigits(0)
+	cs.add(m, combo) // all-blackhole
+
+	δ := m.net.Lifetime
+	for i := 1; i < m.base; i++ {
+		combo[0] = i
+		clearDigits(1)
+		cs.add(m, combo) // single attempt on path i
+
+		t := m.paths[i].Delay + m.dmin
+		surv := m.paths[i].Loss
+		for k := 1; k < m.m; k++ {
+			best, bestGain := 0, 0.0
+			for j := 1; j < m.base; j++ {
+				arrival := t + m.paths[j].Delay
+				if arrival < 0 || arrival > δ {
+					continue
+				}
+				if g := surv * (1 - m.paths[j].Loss); g > bestGain {
+					best, bestGain = j, g
+				}
+			}
+			combo[k] = best
+			if best == 0 {
+				clearDigits(k + 1)
+				break
+			}
+			next := t + m.paths[best].Delay + m.dmin
+			if next < t {
+				next = time.Duration(math.MaxInt64)
+			}
+			t = next
+			surv *= m.paths[best].Loss
+		}
+		cs.add(m, combo) // greedy chain from path i
+	}
+}
+
+// pricer is the best-combination oracle: given the master duals it
+// finds the combinations maximizing reduced cost
+//
+//	rc(l) = p_l − Σᵢ yᵢ·λ·shareₗ[i] − y_c·λ·costₗ − y₀
+//
+// by depth-first search over attempt prefixes. Every attempt on real
+// path i at send time t contributes surv·g_i when in time (g_i =
+// (1−τᵢ) − λ(yᵢ + y_c·cᵢ)) and surv·(−λ(yᵢ+y_c·cᵢ)) ≤ 0 when late;
+// removing the last negative-contribution attempt from any combination
+// never lowers its value (later attempts shift earlier and their
+// survival mass grows), so some maximizer uses only in-time attempts
+// with g_i > 0 — the search expands exactly those, with a τ-discounted
+// optimistic bound pruning the rest.
+type pricer struct {
+	m     *model
+	δ     time.Duration
+	dmin  time.Duration
+	trans int
+
+	gain0 []float64       // per model path: (1−τᵢ) − wᵢ
+	delay []time.Duration // per model path
+	loss  []float64
+	order []int     // real paths with gain0 > 0, best first
+	geo   []float64 // geo[r] = Σ_{j<r} τmax^j, for the optimistic bound
+	y0    float64
+
+	digits []int
+	found  []pricedCombo
+	flo    float64 // current recording floor: cgPriceTol until found is full, then the worst kept rc
+}
+
+type pricedCombo struct {
+	combo []int
+	rc    float64
+}
+
+func newPricer(m *model) *pricer {
+	return &pricer{
+		m:      m,
+		δ:      m.net.Lifetime,
+		dmin:   m.dmin,
+		trans:  m.m,
+		gain0:  make([]float64, m.base),
+		delay:  make([]time.Duration, m.base),
+		loss:   make([]float64, m.base),
+		order:  make([]int, 0, m.base),
+		geo:    make([]float64, m.m+1),
+		digits: make([]int, m.m),
+	}
+}
+
+// reprice loads a new dual vector: yBW has one multiplier per real path
+// (model index i at yBW[i-1]).
+func (p *pricer) reprice(yBW []float64, yCost, y0 float64) {
+	λ := p.m.net.Rate
+	p.y0 = y0
+	p.order = p.order[:0]
+	τmax := 0.0
+	for i := 1; i < p.m.base; i++ {
+		path := &p.m.paths[i]
+		w := λ * (yBW[i-1] + yCost*path.Cost)
+		p.gain0[i] = (1 - path.Loss) - w
+		p.delay[i] = path.Delay
+		p.loss[i] = path.Loss
+		if p.gain0[i] > 0 {
+			p.order = append(p.order, i)
+			if path.Loss > τmax {
+				τmax = path.Loss
+			}
+		}
+	}
+	// Best-gain-first ordering tightens the top-K floor early.
+	for a := 1; a < len(p.order); a++ {
+		for b := a; b > 0 && p.gain0[p.order[b]] > p.gain0[p.order[b-1]]; b-- {
+			p.order[b], p.order[b-1] = p.order[b-1], p.order[b]
+		}
+	}
+	p.geo[0] = 0
+	for r := 1; r <= p.trans; r++ {
+		p.geo[r] = 1 + τmax*p.geo[r-1]
+	}
+}
+
+// price returns up to cgColumnsPerIter combinations with reduced cost
+// above cgPriceTol.
+func (p *pricer) price() [][]int {
+	p.found = p.found[:0]
+	p.flo = cgPriceTol
+	p.dfs(0, 0, 1, 0)
+	out := make([][]int, len(p.found))
+	for i, f := range p.found {
+		out[i] = f.combo
+	}
+	return out
+}
+
+func (p *pricer) record(k int, rc float64) {
+	combo := make([]int, p.trans)
+	copy(combo, p.digits[:k])
+	if len(p.found) < cgColumnsPerIter {
+		p.found = append(p.found, pricedCombo{combo, rc})
+	} else {
+		worstAt, worst := 0, p.found[0].rc
+		for i, f := range p.found[1:] {
+			if f.rc < worst {
+				worstAt, worst = i+1, f.rc
+			}
+		}
+		p.found[worstAt] = pricedCombo{combo, rc}
+	}
+	if len(p.found) == cgColumnsPerIter {
+		p.flo = p.found[0].rc
+		for _, f := range p.found[1:] {
+			if f.rc < p.flo {
+				p.flo = f.rc
+			}
+		}
+	}
+}
+
+// dfs explores attempt prefixes. k attempts are committed (p.digits[:k])
+// with next send time t, survival mass surv, and accumulated
+// contribution acc; terminating here (blackhole-padding the rest) is
+// itself a candidate column.
+func (p *pricer) dfs(k int, t time.Duration, surv float64, acc float64) {
+	if rc := acc - p.y0; rc > p.flo {
+		p.record(k, rc)
+	}
+	if k == p.trans {
+		return
+	}
+	// Optimistic remaining value: every future attempt gains at most the
+	// best single-attempt gain, discounted by the largest survivable loss.
+	best := 0.0
+	if len(p.order) > 0 {
+		best = p.gain0[p.order[0]]
+	}
+	if acc+surv*best*p.geo[p.trans-k]-p.y0 <= p.flo {
+		return
+	}
+	for _, i := range p.order {
+		arrival := t + p.delay[i]
+		if arrival < 0 || arrival > p.δ {
+			continue // late now means late forever: the subtree cannot gain
+		}
+		next := arrival + p.dmin
+		if next < arrival { // overflow
+			next = time.Duration(math.MaxInt64)
+		}
+		p.digits[k] = i
+		p.dfs(k+1, next, surv*p.loss[i], acc+surv*p.gain0[i])
+	}
+}

@@ -14,9 +14,12 @@ import (
 type columns struct {
 	delivery []float64 // p_l (Eq. 12)
 	costs    []float64 // r_l (Eq. 16)
-	shares   []float64 // nVars × base, row-major
-	combos   []Combo   // headers into one backing array
+	shares   []float64 // nCols × base, row-major
+	combos   []Combo   // headers into one backing array (dense) or owned slices
 }
+
+// len returns the number of columns currently held.
+func (c *columns) len() int { return len(c.delivery) }
 
 // newColumns allocates the flat column tables for nVars combinations of
 // trans path digits: one backing array carries every Combo, so the whole
@@ -35,11 +38,44 @@ func newColumns(nVars, base, trans int) *columns {
 	return cols
 }
 
+// columnOf evaluates one combination's LP column — delivery probability,
+// expected cost, and per-path send shares — in a single fused pass over
+// its attempts. share must be a zeroed slice of length base; it is
+// filled in place.
+func (m *model) columnOf(combo []int, share []float64) (delivery, cost float64) {
+	δ := m.net.Lifetime
+	surv := 1.0
+	var t time.Duration
+	for _, i := range combo {
+		p := &m.paths[i]
+		share[i] += surv
+		if i == 0 {
+			// Blackhole: the data is deliberately dropped; later
+			// attempts never happen and cost nothing.
+			break
+		}
+		cost += surv * p.Cost
+		arrival := t + p.Delay
+		if arrival >= 0 && arrival <= δ { // guard overflow
+			delivery += surv * (1 - p.Loss)
+		}
+		next := t + p.Delay + m.dmin
+		if next < t { // overflow
+			next = time.Duration(math.MaxInt64)
+		}
+		t = next
+		surv *= p.Loss
+		if surv == 0 {
+			break
+		}
+	}
+	return delivery, cost
+}
+
 // computeColumns enumerates every combination once with an odometer over
-// the little-endian path digits (Eq. 13) and evaluates delivery
-// probability, send shares, and cost in a single fused pass — the
-// allocation-light replacement for per-combination combo/sendShare/
-// attemptSchedule calls. digits is caller-provided scratch of length ≥ m.
+// the little-endian path digits (Eq. 13) and evaluates each column via
+// columnOf — the allocation-light dense enumeration. digits is
+// caller-provided scratch of length ≥ m.
 func (m *model) computeColumns(digits []int) *columns {
 	base, trans, nVars := m.base, m.m, m.nVars
 	cols := newColumns(nVars, base, trans)
@@ -47,40 +83,10 @@ func (m *model) computeColumns(digits []int) *columns {
 	for k := range digits {
 		digits[k] = 0
 	}
-	δ := m.net.Lifetime
 	for l := 0; l < nVars; l++ {
 		combo := cols.combos[l]
 		copy(combo, digits)
-
-		share := cols.shares[l*base : (l+1)*base]
-		var deliver, cost float64
-		surv := 1.0
-		var t time.Duration
-		for _, i := range combo {
-			p := &m.paths[i]
-			share[i] += surv
-			if i == 0 {
-				// Blackhole: the data is deliberately dropped; later
-				// attempts never happen and cost nothing.
-				break
-			}
-			cost += surv * p.Cost
-			arrival := t + p.Delay
-			if arrival >= 0 && arrival <= δ { // guard overflow
-				deliver += surv * (1 - p.Loss)
-			}
-			next := t + p.Delay + m.dmin
-			if next < t { // overflow
-				next = time.Duration(math.MaxInt64)
-			}
-			t = next
-			surv *= p.Loss
-			if surv == 0 {
-				break
-			}
-		}
-		cols.delivery[l] = deliver
-		cols.costs[l] = cost
+		cols.delivery[l], cols.costs[l] = m.columnOf(combo, cols.shares[l*base:(l+1)*base])
 
 		// Odometer increment of the little-endian digits.
 		for k := 0; k < trans; k++ {
@@ -92,4 +98,27 @@ func (m *model) computeColumns(digits []int) *columns {
 		}
 	}
 	return cols
+}
+
+// appendColumn evaluates combo's column and appends it, copying the
+// digits. Used by the dynamically grown column sets of the pruned-dense
+// and column-generation solve paths.
+func (c *columns) appendColumn(m *model, combo []int) {
+	base := m.base
+	start := len(c.shares)
+	c.shares = append(c.shares, make([]float64, base)...)
+	delivery, cost := m.columnOf(combo, c.shares[start:start+base])
+	c.delivery = append(c.delivery, delivery)
+	c.costs = append(c.costs, cost)
+	c.combos = append(c.combos, append(Combo(nil), combo...))
+}
+
+// appendFrom copies column l of src, including the combination digits —
+// sharing the Combo header would keep src's full dense backing array
+// (all nVars × m digits) reachable for the pruned Solution's lifetime.
+func (c *columns) appendFrom(src *columns, l, base int) {
+	c.delivery = append(c.delivery, src.delivery[l])
+	c.costs = append(c.costs, src.costs[l])
+	c.shares = append(c.shares, src.shares[l*base:(l+1)*base]...)
+	c.combos = append(c.combos, append(Combo(nil), src.combos[l]...))
 }

@@ -199,8 +199,24 @@ func TestTooManyVariables(t *testing.T) {
 	}
 	n := NewNetwork(Mbps, time.Second, paths...)
 	n.Transmissions = 6
-	if _, err := SolveQuality(n); err == nil {
-		t.Error("expected variable-blowup error")
+
+	// Dense-only entry points must refuse the 51^6 ≈ 1.8e10 space...
+	if _, err := BuildLP(n); err == nil {
+		t.Error("BuildLP accepted a combination space beyond DenseLimit")
+	}
+	if _, err := SolveMinCost(n, 0.5); err == nil {
+		t.Error("SolveMinCost accepted a combination space beyond DenseLimit")
+	}
+	// ...while SolveQuality dispatches to column generation and solves it.
+	sol, err := SolveQuality(n)
+	if err != nil {
+		t.Fatalf("SolveQuality (CG dispatch): %v", err)
+	}
+	if sol.Stats.Dispatch != DispatchCG {
+		t.Errorf("dispatch = %v, want %v", sol.Stats.Dispatch, DispatchCG)
+	}
+	if sol.Quality <= 0 || sol.Quality > 1 {
+		t.Errorf("CG quality = %v", sol.Quality)
 	}
 }
 

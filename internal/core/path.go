@@ -223,14 +223,14 @@ func (c Combo) Equal(other Combo) bool {
 
 // model is the normalized optimization instance: user paths prefixed by
 // the virtual blackhole (Eq. 19) at index 0, with the combination space
-// enumerated.
+// enumerated (dense) or addressed on demand (sparse, column generation).
 type model struct {
 	net   *Network
 	paths []Path // paths[0] is the blackhole
 	m     int    // transmissions
 	base  int    // len(paths)
 	dmin  time.Duration
-	nVars int // base^m
+	nVars int // base^m for dense models; 0 when sparse (column generation)
 }
 
 // blackholePath is the Eq. 19 virtual path. Its bandwidth is unlimited:
@@ -246,7 +246,50 @@ func blackholePath() Path {
 	}
 }
 
+// DenseLimit is the hard cap on materialized LP columns: dense solve
+// paths (BuildLP, SolveMinCost, SolveQualityRandom, QualityUpperBound,
+// and SolveQuality below its dispatch threshold) refuse instances whose
+// combination count (n+1)^m exceeds it. SolveQuality switches to column
+// generation instead of failing; see SolveQualityCG.
+const DenseLimit = 1 << 22
+
+// combinationCount returns base^m when it is at most limit. The product
+// is checked term by term — it bails out as soon as it would exceed
+// limit — so extreme inputs (e.g. thousands of paths at m = 6, where
+// base^m overflows int64) report ok = false instead of wrapping around
+// the guard.
+func combinationCount(base, m, limit int) (count int, ok bool) {
+	if base <= 0 || limit <= 0 {
+		return 0, false
+	}
+	count = 1
+	for i := 0; i < m; i++ {
+		if count > limit/base {
+			return 0, false
+		}
+		count *= base
+	}
+	return count, true
+}
+
 func newModel(n *Network) (*model, error) {
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, err
+	}
+	nVars, ok := combinationCount(m.base, m.m, DenseLimit)
+	if !ok {
+		return nil, fmt.Errorf("core: %d paths with %d transmissions yields more than %d path combinations; use SolveQuality's column-generation dispatch or reduce Transmissions",
+			len(n.Paths), m.m, DenseLimit)
+	}
+	m.nVars = nVars
+	return m, nil
+}
+
+// newSparseModel builds a model without materializing (or bounding) the
+// combination space: combinations are addressed by packed keys instead
+// of dense indices. Used by the column-generation solve path.
+func newSparseModel(n *Network) (*model, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -257,14 +300,36 @@ func newModel(n *Network) (*model, error) {
 		dmin:  n.MinDelay(),
 	}
 	m.base = len(m.paths)
-	m.nVars = 1
-	for i := 0; i < m.m; i++ {
-		m.nVars *= m.base
-	}
-	if m.nVars > 1<<22 {
-		return nil, fmt.Errorf("core: %d paths with %d transmissions yields %d variables; reduce Transmissions", len(n.Paths), m.m, m.nVars)
+	// Packed combination keys must be unique within a uint64; with
+	// m ≤ MaxTransmissions = 6 this allows ~1600 paths per model — far
+	// beyond any realistic multipath scenario.
+	if !keysFit(m.base, m.m) {
+		return nil, fmt.Errorf("core: %d paths with %d transmissions exceeds the addressable combination space", len(n.Paths), m.m)
 	}
 	return m, nil
+}
+
+// keysFit reports whether base^m fits in a uint64, i.e. whether packed
+// combination keys are collision-free for this model shape.
+func keysFit(base, m int) bool {
+	key := uint64(1)
+	for i := 0; i < m; i++ {
+		if key > math.MaxUint64/uint64(base) {
+			return false
+		}
+		key *= uint64(base)
+	}
+	return true
+}
+
+// packKey packs a combination into its unique uint64 key (the Eq. 13
+// index computed in uint64, valid whenever keysFit holds).
+func (m *model) packKey(c []int) uint64 {
+	var key uint64
+	for k := len(c) - 1; k >= 0; k-- {
+		key = key*uint64(m.base) + uint64(c[k])
+	}
+	return key
 }
 
 // combo unpacks variable index l into its per-transmission path digits

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// maxDominanceChecks caps how many already-kept columns each candidate
+// is compared against in the pairwise dominance pass, bounding the
+// pruner at O(nVars · maxDominanceChecks · base) instead of quadratic.
+// The scan walks the kept list backward, so candidates are checked
+// against their closest (delivery, cost) neighbors first — where
+// dominators live.
+const maxDominanceChecks = 192
+
+// pruneColumns drops combinations that can never be needed by an
+// optimal solution, returning the surviving columns (in enumeration
+// order) and their original indices. Two passes:
+//
+// Structural: only canonical combinations survive — nothing may follow
+// a blackhole attempt or a zero-survival (loss-free) attempt, and every
+// real attempt must arrive within the lifetime. A late attempt adds
+// cost and bandwidth share but no delivery, so its combination is
+// weakly dominated by the one truncated at the blackhole; non-canonical
+// paddings are exact duplicates of their canonical form.
+//
+// Pairwise: column a weakly dominates b when delivery_a ≥ delivery_b,
+// cost_a ≤ cost_b, and share_a[i] ≤ share_b[i] on every real path —
+// any feasible traffic on b can move to a without losing delivered
+// quality or violating a bandwidth/cost row (the conservation row sees
+// coefficient 1 on both). Sorting by (delivery desc, cost asc, share
+// sum asc) places every dominator before its dominated column, so one
+// forward scan against the kept set suffices.
+//
+// The same criterion is safe for both solve objectives threading
+// through it: quality maximization (delivery is the objective,
+// cost/shares are ≤ rows) and cost minimization (cost is the objective,
+// delivery is a ≥ row).
+func (m *model) pruneColumns(cols *columns) (*columns, []int) {
+	n := cols.len()
+	base := m.base
+
+	survivors := make([]int, 0, n)
+	for l := 0; l < n; l++ {
+		if m.canonicalInTime(cols.combos[l]) {
+			survivors = append(survivors, l)
+		}
+	}
+
+	// Sort survivors so dominators precede dominated columns.
+	shareSum := func(l int) float64 {
+		var s float64
+		for i := 1; i < base; i++ {
+			s += cols.shares[l*base+i]
+		}
+		return s
+	}
+	sort.Slice(survivors, func(a, b int) bool {
+		la, lb := survivors[a], survivors[b]
+		if cols.delivery[la] != cols.delivery[lb] {
+			return cols.delivery[la] > cols.delivery[lb]
+		}
+		if cols.costs[la] != cols.costs[lb] {
+			return cols.costs[la] < cols.costs[lb]
+		}
+		return shareSum(la) < shareSum(lb)
+	})
+
+	kept := make([]int, 0, len(survivors))
+	for _, l := range survivors {
+		dominated := false
+		checks := len(kept)
+		if checks > maxDominanceChecks {
+			checks = maxDominanceChecks
+		}
+		for c := 1; c <= checks; c++ {
+			if m.dominates(cols, kept[len(kept)-c], l) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, l)
+		}
+	}
+
+	sort.Ints(kept)
+	out := &columns{
+		delivery: make([]float64, 0, len(kept)),
+		costs:    make([]float64, 0, len(kept)),
+		shares:   make([]float64, 0, len(kept)*base),
+		combos:   make([]Combo, 0, len(kept)),
+	}
+	for _, l := range kept {
+		out.appendFrom(cols, l, base)
+	}
+	return out, kept
+}
+
+// canonicalInTime reports whether a combination is in canonical form
+// (all zeros after the first blackhole or zero-survival attempt) with
+// every real attempt arriving within the lifetime.
+func (m *model) canonicalInTime(c Combo) bool {
+	δ := m.net.Lifetime
+	var t time.Duration
+	terminated := false
+	surv := 1.0
+	for _, i := range c {
+		if terminated {
+			if i != 0 {
+				return false
+			}
+			continue
+		}
+		if i == 0 {
+			terminated = true
+			continue
+		}
+		arrival := t + m.paths[i].Delay
+		if arrival < 0 || arrival > δ { // late or overflowed
+			return false
+		}
+		next := arrival + m.dmin
+		if next < t { // overflow: any further attempt would be late
+			next = time.Duration(math.MaxInt64)
+		}
+		t = next
+		surv *= m.paths[i].Loss
+		if surv == 0 {
+			terminated = true
+		}
+	}
+	return true
+}
+
+// dominates reports whether column a weakly dominates column b.
+func (m *model) dominates(cols *columns, a, b int) bool {
+	if cols.delivery[a] < cols.delivery[b] || cols.costs[a] > cols.costs[b] {
+		return false
+	}
+	base := m.base
+	sa := cols.shares[a*base : (a+1)*base]
+	sb := cols.shares[b*base : (b+1)*base]
+	for i := 1; i < base; i++ {
+		if sa[i] > sb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -106,8 +106,11 @@ func (s *Solution) RiskReport(packetBytes int) (*RiskReport, error) {
 		return nil, fmt.Errorf("core: rate %v yields under one packet/s for %d-byte packets", s.Network.Rate, packetBytes)
 	}
 
-	probs := make([][]float64, m.nVars)
-	for l := 0; l < m.nVars; l++ {
+	// Size by the solution's own column tables, not m.nVars: pruned and
+	// column-generated solutions carry a subset of the dense space (and
+	// sparse models have no dense count at all).
+	probs := make([][]float64, len(s.combos))
+	for l := range s.combos {
 		probs[l] = m.attemptProbs(s.combos[l])
 	}
 

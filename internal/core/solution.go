@@ -9,19 +9,51 @@ import (
 	"dmc/internal/lp"
 )
 
+// Dispatch names which solve core produced a Solution.
+type Dispatch string
+
+const (
+	// DispatchDense is plain dense enumeration of every combination.
+	DispatchDense Dispatch = "dense"
+	// DispatchPruned is dense enumeration after dominance pruning.
+	DispatchPruned Dispatch = "dense-pruned"
+	// DispatchCG is column generation over a restricted master problem.
+	DispatchCG Dispatch = "cg"
+)
+
+// SolveStats records how a solve was dispatched and what it cost.
+type SolveStats struct {
+	// Dispatch is the solve core that produced the solution.
+	Dispatch Dispatch
+	// Columns is how many LP columns the (final) master problem held:
+	// the full combination count for dense, the surviving subset after
+	// pruning, or the generated pool for column generation.
+	Columns int
+	// PrunedFrom is the dense combination count before dominance
+	// pruning (0 when no pruning ran).
+	PrunedFrom int
+	// CGIterations counts restricted-master solves (0 unless column
+	// generation ran).
+	CGIterations int
+}
+
 // Solution is an optimal sending strategy: the fraction of application
 // traffic to assign to every path combination, plus the resulting metrics
 // of Table II.
 type Solution struct {
 	// Network is the scenario the solution was computed for.
 	Network *Network
-	// X is the optimal traffic split x′ over path combinations, indexed by
-	// the Eq. 13 combination index (little-endian path digits, blackhole =
-	// digit 0). It sums to 1.
+	// X is the optimal traffic split x′ over path combinations, parallel
+	// to Combos(). For a plain dense solve it is indexed by the Eq. 13
+	// combination index (little-endian path digits, blackhole = digit 0);
+	// pruned and column-generated solves carry only the combinations
+	// their master problem held. It sums to 1 either way.
 	X []float64
 	// Quality is Q = G/λ ∈ [0, 1] (Eq. 6): the fraction of application
 	// data expected to arrive before its deadline.
 	Quality float64
+	// Stats records which solve core ran and what it cost.
+	Stats SolveStats
 
 	m        *model
 	problem  *lp.Problem
@@ -31,6 +63,9 @@ type Solution struct {
 	// combination l's share of model path i at shares[l*base+i].
 	shares []float64
 	costs  []float64
+	// colIndex maps a combination's packed key to its position in the
+	// tables above; nil means the dense enumeration order.
+	colIndex map[uint64]int
 }
 
 // ComboShare pairs a path combination with its traffic share.
@@ -44,7 +79,9 @@ type ComboShare struct {
 }
 
 // Fraction returns the traffic share of a specific combination, given in
-// model indexing (0 = blackhole, k = Paths[k-1]).
+// model indexing (0 = blackhole, k = Paths[k-1]). Combinations the
+// solve's master problem never carried (pruned or not generated) hold
+// zero traffic by construction.
 func (s *Solution) Fraction(c Combo) float64 {
 	if len(c) != s.m.m {
 		return 0
@@ -54,11 +91,17 @@ func (s *Solution) Fraction(c Combo) float64 {
 			return 0
 		}
 	}
+	if s.colIndex != nil {
+		if pos, ok := s.colIndex[s.m.packKey(c)]; ok {
+			return s.X[pos]
+		}
+		return 0
+	}
 	return s.X[s.m.index(c)]
 }
 
 // ActiveCombos returns the combinations carrying at least minFraction of
-// the traffic, sorted by decreasing share.
+// the traffic, sorted by decreasing share (ties by combination key).
 func (s *Solution) ActiveCombos(minFraction float64) []ComboShare {
 	var out []ComboShare
 	for l, x := range s.X {
@@ -70,7 +113,7 @@ func (s *Solution) ActiveCombos(minFraction float64) []ComboShare {
 		if out[a].Fraction != out[b].Fraction {
 			return out[a].Fraction > out[b].Fraction
 		}
-		return s.m.index(out[a].Combo) < s.m.index(out[b].Combo)
+		return s.m.packKey(out[a].Combo) < s.m.packKey(out[b].Combo)
 	})
 	return out
 }

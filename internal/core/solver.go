@@ -8,6 +8,17 @@ import (
 	"dmc/internal/lp"
 )
 
+// Dispatch thresholds for SolveQuality's automatic scaling. Combination
+// counts up to DefaultPruneThreshold solve by plain dense enumeration
+// (the pruner would cost more than it saves); counts up to
+// DefaultDenseThreshold solve densely after dominance pruning; larger
+// spaces — which dense enumeration could not even materialize past
+// DenseLimit — go to column generation.
+const (
+	DefaultPruneThreshold = 2048
+	DefaultDenseThreshold = 1 << 13
+)
+
 // Solver is a reusable solve context: it owns an lp.Solver (tableau,
 // basis, and pivot workspaces) plus the combination-enumeration scratch,
 // so repeated solves of same-shaped networks reuse all of the solver's
@@ -17,10 +28,63 @@ import (
 type Solver struct {
 	lps    lp.Solver
 	digits []int
+
+	// DenseThreshold overrides the combination count above which
+	// SolveQuality dispatches to column generation instead of dense
+	// enumeration. Zero selects DefaultDenseThreshold; negative forces
+	// column generation for every size; values above DenseLimit are
+	// capped there (dense tables beyond it are never materialized).
+	DenseThreshold int
+	// PruneThreshold overrides the combination count above which dense
+	// solves run the dominance pruner before assembling the LP. Zero
+	// selects DefaultPruneThreshold; negative disables pruning.
+	PruneThreshold int
 }
 
 // NewSolver returns a reusable Solver.
 func NewSolver() *Solver { return &Solver{} }
+
+// denseDispatchOK reports whether the network's combination space fits
+// the dense-enumeration side of the dispatch threshold.
+func (s *Solver) denseDispatchOK(n *Network) bool {
+	th := s.DenseThreshold
+	if th == 0 {
+		th = DefaultDenseThreshold
+	}
+	if th < 0 {
+		return false
+	}
+	if th > DenseLimit {
+		th = DenseLimit
+	}
+	_, ok := combinationCount(len(n.Paths)+1, n.transmissions(), th)
+	return ok
+}
+
+// pruneIfWorthwhile runs the dominance pruner when the combination
+// count exceeds the prune threshold, returning the (possibly pruned)
+// columns and a key index for the surviving subset (nil when nothing
+// was pruned).
+func (s *Solver) pruneIfWorthwhile(m *model, cols *columns) (*columns, map[uint64]int) {
+	th := s.PruneThreshold
+	if th == 0 {
+		th = DefaultPruneThreshold
+	}
+	if th < 0 || m.nVars <= th {
+		return cols, nil
+	}
+	pruned, kept := m.pruneColumns(cols)
+	if len(kept) == m.nVars {
+		return cols, nil
+	}
+	// Key by packKey — the same function Fraction looks columns up with —
+	// rather than the dense index, so the two can never drift apart.
+	index := make(map[uint64]int, len(kept))
+	for pos := range kept {
+		index[m.packKey(pruned.combos[pos])] = pos
+	}
+	return pruned, index
+}
 
 // solverPool backs the package-level SolveQuality/SolveMinCost/
 // SolveQualityRandom wrappers and the SolveMany workers, so one-shot
@@ -38,12 +102,24 @@ func (s *Solver) scratch(m int) []int {
 // (Eq. 10) and returns the optimal sending strategy. The problem is
 // always feasible — the blackhole path absorbs any excess traffic — so a
 // non-optimal status indicates an internal error.
+//
+// Dispatch scales with the combination count (n+1)^m: small spaces are
+// enumerated densely, mid-size spaces are dominance-pruned first, and
+// anything above the dense threshold — including counts that would
+// overflow dense enumeration entirely — solves by column generation
+// (SolveQualityCG). All three paths reach the same LP optimum.
 func (s *Solver) SolveQuality(n *Network) (*Solution, error) {
+	// Validation happens inside newModel/newSparseModel on both
+	// branches; denseDispatchOK only reads sizes, safe on raw input.
+	if !s.denseDispatchOK(n) {
+		return s.SolveQualityCG(n)
+	}
 	m, err := newModel(n)
 	if err != nil {
 		return nil, err
 	}
-	cols := m.computeColumns(s.scratch(m.m))
+	full := m.computeColumns(s.scratch(m.m))
+	cols, index := s.pruneIfWorthwhile(m, full)
 	prob := m.assembleProblem(lp.Maximize, cols.delivery, cols, nil, true)
 	sol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
 	if err != nil {
@@ -52,7 +128,19 @@ func (s *Solver) SolveQuality(n *Network) (*Solution, error) {
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("core: quality LP unexpectedly %v", sol.Status)
 	}
-	return m.newSolution(prob, cols, sol.X, sol.Objective), nil
+	out := m.newSolutionIndexed(prob, cols, sol.X, sol.Objective, index)
+	out.Stats = denseStats(m, cols, index)
+	return out, nil
+}
+
+// denseStats summarizes a dense solve's dispatch for Solution.Stats.
+func denseStats(m *model, cols *columns, index map[uint64]int) SolveStats {
+	st := SolveStats{Dispatch: DispatchDense, Columns: cols.len()}
+	if index != nil {
+		st.Dispatch = DispatchPruned
+		st.PrunedFrom = m.nVars
+	}
+	return st
 }
 
 // SolveMinCost solves the §VI-A variant: minimize the expected total cost
@@ -71,8 +159,9 @@ func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error)
 	if err != nil {
 		return nil, err
 	}
-	cols := m.computeColumns(s.scratch(m.m))
-	obj := make([]float64, m.nVars)
+	full := m.computeColumns(s.scratch(m.m))
+	cols, index := s.pruneIfWorthwhile(m, full)
+	obj := make([]float64, cols.len())
 	for l, c := range cols.costs {
 		obj[l] = n.Rate * c // Eq. 21: (λ·cᵢ) + (λ·τᵢ·cⱼ), generalized
 	}
@@ -93,7 +182,8 @@ func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error)
 		return nil, fmt.Errorf("core: min-cost LP unexpectedly %v", sol.Status)
 	}
 
-	out := m.newSolution(prob, cols, sol.X, 0)
+	out := m.newSolutionIndexed(prob, cols, sol.X, 0, index)
+	out.Stats = denseStats(m, cols, index)
 	// Recompute achieved quality from the solution (the LP objective here
 	// is cost, not quality).
 	var q float64
@@ -113,7 +203,7 @@ func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error)
 // storage with the Solution's own column tables.
 func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, extra *lp.Constraint, costRow bool) *lp.Problem {
 	λ := m.net.Rate
-	base, nVars := m.base, m.nVars
+	base, nVars := m.base, cols.len()
 	hasCost := costRow && !math.IsInf(m.net.CostBound, 1)
 
 	nRows := base - 1 + 1 // bandwidth rows + conservation
@@ -159,9 +249,18 @@ func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, ex
 	return &lp.Problem{Sense: sense, Objective: obj, Constraints: cons}
 }
 
-// newSolution assembles the public Solution from a solved x′ vector,
-// sharing the column tables with the LP that produced it.
+// newSolution assembles the public Solution from a solved x′ vector
+// over the full dense combination space, sharing the column tables with
+// the LP that produced it.
 func (m *model) newSolution(prob *lp.Problem, cols *columns, x []float64, quality float64) *Solution {
+	return m.newSolutionIndexed(prob, cols, x, quality, nil)
+}
+
+// newSolutionIndexed is newSolution for a column subset: colIndex maps
+// a combination's packed key to its position in the column tables. A
+// nil colIndex means the columns cover the dense space in enumeration
+// order.
+func (m *model) newSolutionIndexed(prob *lp.Problem, cols *columns, x []float64, quality float64, colIndex map[uint64]int) *Solution {
 	return &Solution{
 		Network:  m.net,
 		X:        x,
@@ -172,5 +271,6 @@ func (m *model) newSolution(prob *lp.Problem, cols *columns, x []float64, qualit
 		delivery: cols.delivery,
 		shares:   cols.shares,
 		costs:    cols.costs,
+		colIndex: colIndex,
 	}
 }

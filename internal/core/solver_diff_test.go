@@ -80,6 +80,56 @@ func TestPooledSolverMatchesExact(t *testing.T) {
 	}
 }
 
+// TestScalableSolversMatchExact: the scalable solve paths — dominance-
+// pruned dense enumeration and column generation — must agree with the
+// exact rational simplex (the paper's CGAL stand-in) to 1e-6 on ≥100
+// randomized networks, sizes where all three are tractable.
+func TestScalableSolversMatchExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xabcd, 0xef01))
+	pruned := NewSolver()
+	pruned.PruneThreshold = 1 // force the pruner at every size
+	pruned.DenseThreshold = DenseLimit
+	cg := NewSolver()
+	cg.DenseThreshold = -1 // force column generation at every size
+	for trial := 0; trial < 120; trial++ {
+		paths := 2 + rng.IntN(3)         // 2–4 paths
+		transmissions := 2 + rng.IntN(2) // 2–3 transmissions
+		if paths == 4 && transmissions == 3 {
+			// 125 exact rational variables is disproportionately slow
+			// under -race; the 4-path coverage stays at m = 2.
+			transmissions = 2
+		}
+		net := diffRandomNetwork(rng, paths, transmissions)
+
+		enet, err := ExactFromFloat(net)
+		if err != nil {
+			t.Fatalf("trial %d: exact conversion: %v", trial, err)
+		}
+		esol, err := SolveQualityExact(enet)
+		if err != nil {
+			t.Fatalf("trial %d: exact solve: %v", trial, err)
+		}
+		exact, _ := esol.Quality.Float64()
+
+		psol, err := pruned.SolveQuality(net)
+		if err != nil {
+			t.Fatalf("trial %d: pruned solve: %v", trial, err)
+		}
+		if diff := math.Abs(psol.Quality - exact); diff > 1e-6 {
+			t.Errorf("trial %d (paths=%d m=%d): pruned quality %v vs exact %v (diff %v, kept %d of %d)",
+				trial, paths, transmissions, psol.Quality, exact, diff, psol.Stats.Columns, psol.Stats.PrunedFrom)
+		}
+		csol, err := cg.SolveQuality(net)
+		if err != nil {
+			t.Fatalf("trial %d: cg solve: %v", trial, err)
+		}
+		if diff := math.Abs(csol.Quality - exact); diff > 1e-6 {
+			t.Errorf("trial %d (paths=%d m=%d): cg quality %v vs exact %v (diff %v, %d iterations, %d columns)",
+				trial, paths, transmissions, csol.Quality, exact, diff, csol.Stats.CGIterations, csol.Stats.Columns)
+		}
+	}
+}
+
 // TestSolverReuseIsDeterministic: reusing one Solver across differently
 // shaped problems must give byte-identical results to fresh solves —
 // stale workspace contents must never leak into a later solve.

@@ -131,12 +131,28 @@ func logCDF(d dist.Delay, x time.Duration) float64 {
 	return math.Log(cdf)
 }
 
+// coarseMinPoints is the minimum coarse-grid resolution of
+// maximizeOverGrid: intervals shorter than coarseMinPoints×step are
+// subdivided so the scan still sees the interval's interior.
+const coarseMinPoints = 8
+
 // maximizeOverGrid scans (lo, hi] at the given step, then refines around
-// the best point with `levels` successive 10× finer passes. Returns ok =
-// false when the objective is -Inf everywhere (no feasible t).
+// the best point with `levels` successive 10× finer passes. The step is
+// clamped so short intervals (a lifetime below the coarse grid step)
+// still evaluate at least coarseMinPoints interior points, and hi itself
+// is always probed — otherwise a network with Lifetime < GridStep would
+// evaluate zero points and report every timeout undefined even when
+// feasible ones exist. Returns ok = false when the objective is -Inf
+// everywhere (no feasible t).
 func maximizeOverGrid(f func(time.Duration) float64, lo, hi time.Duration, step time.Duration, levels int) (time.Duration, bool) {
 	if hi <= lo || step <= 0 {
 		return -1, false
+	}
+	if maxStep := (hi - lo) / coarseMinPoints; step > maxStep {
+		step = maxStep
+		if step <= 0 {
+			step = hi - lo // sub-nanosecond-per-point interval: single probe at hi
+		}
 	}
 	bestT := time.Duration(-1)
 	bestV := math.Inf(-1)
@@ -145,6 +161,12 @@ func maximizeOverGrid(f func(time.Duration) float64, lo, hi time.Duration, step 
 			bestV = v
 			bestT = t
 		}
+	}
+	// The coarse loop reaches hi only when the width divides evenly;
+	// probe it explicitly so the interval's endpoint is never skipped.
+	if v := f(hi); v > bestV {
+		bestV = v
+		bestT = hi
 	}
 	if math.IsInf(bestV, -1) || bestT < 0 {
 		return -1, false

@@ -39,6 +39,19 @@ func Fig4CSV(points []Fig4Point) string {
 	return b.String()
 }
 
+// ScalabilityCSV renders the scalability sweep as CSV (times in
+// microseconds; combinations -1 means beyond the dense limit).
+func ScalabilityCSV(points []ScalPoint) string {
+	var b strings.Builder
+	b.WriteString("paths,transmissions,combinations,dispatch,columns,cg_iterations,mean_solve_us\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%d,%d,%.3f\n",
+			p.Paths, p.Transmissions, p.Combinations, p.Dispatch, p.Columns,
+			p.CGIterations, float64(p.MeanSolve.Nanoseconds())/1e3)
+	}
+	return b.String()
+}
+
 // Table4CSV renders Table IV rows as CSV with exact fractions.
 func Table4CSV(rows []Table4Row) string {
 	var b strings.Builder

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmc/internal/core"
+)
+
+// TestScalabilitySweep runs a reduced grid spanning all three dispatch
+// paths and checks the CG results agree with dense enumeration where
+// dense is tractable.
+func TestScalabilitySweep(t *testing.T) {
+	pts, err := Scalability(ScalabilityConfig{
+		Paths:         []int{10, 25},
+		Transmissions: []int{3, 5},
+		Runs:          2,
+		Seed:          7,
+		VerifyDense:   true,
+		Parallel:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	sawCG := false
+	for _, p := range pts {
+		if p.Quality <= 0 || p.Quality > 1 {
+			t.Errorf("n=%d m=%d: quality %v outside (0,1]", p.Paths, p.Transmissions, p.Quality)
+		}
+		if p.Dispatch == core.DispatchCG {
+			sawCG = true
+			if p.CGIterations <= 0 || p.Columns <= 0 {
+				t.Errorf("n=%d m=%d: CG ran with %d iterations, %d columns",
+					p.Paths, p.Transmissions, p.CGIterations, p.Columns)
+			}
+		}
+		if p.DenseAgrees > 1e-6 {
+			t.Errorf("n=%d m=%d: scalable solve differs from dense by %v",
+				p.Paths, p.Transmissions, p.DenseAgrees)
+		}
+	}
+	if !sawCG {
+		t.Error("no grid point dispatched to column generation")
+	}
+
+	text := RenderScalability(pts)
+	for _, want := range []string{"dispatch", "cg", "> 2^22"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -4,13 +4,17 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem . | go run ./scripts/benchcmp \
-//	    -baseline BENCH_baseline.json [-threshold 25] [-write BENCH_new.json]
+//	    -baseline BENCH_baseline.json [-threshold 25] [-critical regexp] \
+//	    [-write BENCH_new.json]
 //
-// Bench output is read from stdin (or -in). Exit status is 1 when any
-// benchmark regresses by more than -threshold percent in ns/op; new or
-// vanished benchmarks are reported but never fail the run. The CI
-// bench-regress job runs this non-blocking so perf drift stays visible
-// on every PR without gating merges on a noisy shared runner.
+// Bench output is read from stdin (or -in). Exit status is 1 only when
+// a benchmark matching -critical regresses by more than -threshold
+// percent in ns/op; regressions elsewhere — end-to-end sweeps and
+// simulations, which are too noisy on shared runners to gate merges —
+// are reported as warnings. New or vanished benchmarks are reported but
+// never fail the run. The default -critical set covers the solve-core
+// benchmarks (LP solve, dispatch, batch, scalability), whose per-op
+// times are tight enough to compare meaningfully.
 package main
 
 import (
@@ -90,12 +94,22 @@ func parseBench(r io.Reader) (map[string]entry, []string, error) {
 	return out, order, sc.Err()
 }
 
+// defaultCritical matches the solve-core benchmarks: regressions here
+// fail the run, regressions in sweeps/simulations only warn.
+const defaultCritical = `^Benchmark(Figure1Scenario|Figure4Solve|ScalabilitySolve|SolveMany|LPLargeAspect|SolverAblation)`
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON snapshot to compare against")
 	in := flag.String("in", "-", "bench output file (- for stdin)")
 	threshold := flag.Float64("threshold", 25, "ns/op regression percentage that fails the run")
+	critical := flag.String("critical", defaultCritical, "regexp of benchmarks whose regressions fail the run (others only warn)")
 	write := flag.String("write", "", "also write the parsed results as a new JSON snapshot")
 	flag.Parse()
+
+	criticalRe, err := regexp.Compile(*critical)
+	if err != nil {
+		fatal(fmt.Errorf("bad -critical regexp: %w", err))
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {
@@ -123,7 +137,7 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
 	}
 
-	regressed := 0
+	regressed, warned := 0, 0
 	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
 	for _, name := range order {
 		cur := got[name]
@@ -135,8 +149,13 @@ func main() {
 		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
 		mark := ""
 		if delta > *threshold {
-			mark = "  REGRESSION"
-			regressed++
+			if criticalRe.MatchString(name) {
+				mark = "  REGRESSION"
+				regressed++
+			} else {
+				mark = "  regression (non-blocking)"
+				warned++
+			}
 		}
 		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta, mark)
 	}
@@ -171,11 +190,14 @@ func main() {
 		fmt.Printf("\nwrote %d benchmarks to %s\n", len(got), *write)
 	}
 
+	if warned > 0 {
+		fmt.Printf("\n%d non-critical benchmark(s) regressed more than %.0f%% (not failing the run)\n", warned, *threshold)
+	}
 	if regressed > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, *threshold)
+		fmt.Printf("\n%d critical benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, *threshold)
 		os.Exit(1)
 	}
-	fmt.Printf("\nno ns/op regressions beyond %.0f%%\n", *threshold)
+	fmt.Printf("\nno critical ns/op regressions beyond %.0f%%\n", *threshold)
 }
 
 func fatal(err error) {
