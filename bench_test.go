@@ -191,6 +191,108 @@ func BenchmarkScalabilitySolve(b *testing.B) {
 	}
 }
 
+// warmResolveRing returns a base instance plus a ring of successively
+// ≤10%-drifted variants of it (λ, µ, loss, delay, bandwidth, cost all
+// perturbed; shape fixed) — the §VIII-A adaptive re-solve workload.
+func warmResolveRing(paths, trans, n int) (*dmc.Network, []*dmc.Network) {
+	rng := rand.New(rand.NewPCG(7, uint64(paths*100+trans)))
+	base := experiments.RandomNetwork(rng, paths, trans)
+	ring := make([]*dmc.Network, n)
+	net := base
+	for i := range ring {
+		net = experiments.DriftNetwork(rng, net, 0.1)
+		ring[i] = net
+	}
+	return base, ring
+}
+
+// BenchmarkWarmResolve measures the incremental re-solve engine on a
+// drift trajectory against cold solves of the identical instances, per
+// dispatch regime: dense (10×3), dominance-pruned (15×3), and column
+// generation (40×4, the 2.8M-combination ROADMAP target). The warm/cold
+// per-op ratio at each size is the PR's headline artifact; both sides
+// are gated as critical in scripts/benchcmp.
+func BenchmarkWarmResolve(b *testing.B) {
+	for _, size := range []struct{ paths, trans int }{
+		{10, 3}, // 1331 combos: dense warm re-solve
+		{15, 3}, // 4096: dominance-pruned warm re-solve
+		{40, 4}, // 2.8M: column generation with persistent pool
+	} {
+		base, ring := warmResolveRing(size.paths, size.trans, 32)
+		b.Run(fmt.Sprintf("paths=%d/trans=%d/warm", size.paths, size.trans), func(b *testing.B) {
+			solver := dmc.NewSolver()
+			if _, err := solver.Resolve(base); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Resolve(ring[i%len(ring)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("paths=%d/trans=%d/cold", size.paths, size.trans), func(b *testing.B) {
+			solver := dmc.NewSolver()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveQuality(ring[i%len(ring)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptorPoll runs the §VIII-A estimator poll loop: every
+// iteration feeds an observation and polls Solution. Most polls take the
+// no-drift fast path (which must not allocate — EstimatedNetwork reuses
+// the Adaptor's scratch); the occasional threshold crossing re-solves on
+// the Adaptor's incremental warm path.
+func BenchmarkAdaptorPoll(b *testing.B) {
+	n := experiments.TableIIINetwork(90, 800*time.Millisecond)
+	a, err := dmc.NewAdaptor(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := a.Solution(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate the loss estimate between ~0% and ~33% so every
+		// other poll crosses the drift threshold and re-solves warm.
+		a.ObserveSend(0)
+		if i%2 == 0 {
+			a.ObserveLoss(0)
+		}
+		if _, _, err := a.Solution(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeoutCache measures the Eq. 34 table lookup under λ-only
+// drift (every call after the first hits the cache).
+func BenchmarkTimeoutCache(b *testing.B) {
+	n := experiments.TableVNetwork()
+	c := dmc.NewTimeoutCache()
+	if _, err := c.OptimalTimeouts(n, dmc.TimeoutOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drifted := *n
+		drifted.Rate *= 1 + float64(i%10)/100
+		if _, err := c.OptimalTimeouts(&drifted, dmc.TimeoutOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolverAblation compares the float simplex against the exact
 // rational simplex (the CGAL analogue) on the Table IV instance.
 func BenchmarkSolverAblation(b *testing.B) {

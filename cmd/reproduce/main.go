@@ -38,6 +38,7 @@ func run(args []string) error {
 		fig3     = fs.Bool("fig3", false, "Figure 3: sensitivity to estimation errors")
 		fig4     = fs.Bool("fig4", false, "Figure 4: LP solve times vs problem size")
 		scale    = fs.Bool("scalability", false, "scalability sweep: pruning/column-generation dispatch, paths 10–40, m 3–5")
+		resolve  = fs.Bool("resolve", false, "incremental re-solve drift sweep: warm vs cold solve times on a 40-path × 4-transmission trajectory")
 		ablation = fs.Bool("ablation", false, "scheduler / solver / ack-scheme ablations")
 		messages = fs.Int("messages", experiments.FullMessageCount, "messages per simulation run")
 		seed     = fs.Uint64("seed", 1, "base random seed")
@@ -48,9 +49,9 @@ func run(args []string) error {
 		return err
 	}
 	if *all {
-		*table4, *fig2, *exp2, *fig3, *fig4, *scale, *ablation = true, true, true, true, true, true, true
+		*table4, *fig2, *exp2, *fig3, *fig4, *scale, *resolve, *ablation = true, true, true, true, true, true, true, true
 	}
-	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*scale && !*ablation {
+	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*scale && !*resolve && !*ablation {
 		fs.Usage()
 		return fmt.Errorf("select experiments (or -all)")
 	}
@@ -165,6 +166,19 @@ func run(args []string) error {
 		}
 		fmt.Print(experiments.RenderScalability(pts))
 		if err := writeCSV("scalability.csv", experiments.ScalabilityCSV(pts)); err != nil {
+			return err
+		}
+		done()
+	}
+
+	if *resolve {
+		done := section("Incremental re-solve: warm vs cold on a λ/µ/loss/delay drift trajectory (40 paths × 4 transmissions)")
+		pts, err := experiments.ResolveSweep(experiments.ResolveConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderResolve(pts))
+		if err := writeCSV("resolve.csv", experiments.ResolveCSV(pts)); err != nil {
 			return err
 		}
 		done()

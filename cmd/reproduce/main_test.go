@@ -58,3 +58,15 @@ func TestRunNoSelection(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestRunResolveSweep smoke-runs the incremental re-solve drift sweep
+// and checks its CSV side output.
+func TestRunResolveSweep(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	if err := run([]string{"-resolve", "-csv", csvDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "resolve.csv")); err != nil {
+		t.Errorf("missing CSV resolve.csv: %v", err)
+	}
+}

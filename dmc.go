@@ -26,9 +26,13 @@
 // auto-dispatching between dense enumeration, dominance pruning, and
 // column generation by problem size), SolveQualityCG (the
 // column-generation core, for combination spaces dense enumeration
-// cannot materialize), SolveMinCost (§VI-A), SolveQualityRandom +
-// OptimalTimeouts (§VI-B random delays, Eq. 26–34), SolveQualityExact
-// (exact rational arithmetic, as the paper's CGAL setup).
+// cannot materialize), Solver.Resolve (incremental warm re-solve for
+// drifting estimates: column tables rebuilt in place, CG pool retained
+// and repriced, LP basis reused), SolveMinCost (§VI-A),
+// SolveQualityRandom + OptimalTimeouts (§VI-B random delays, Eq. 26–34,
+// with NewTimeoutCache memoizing tables across λ/µ/loss drift),
+// SolveQualityExact (exact rational arithmetic, as the paper's CGAL
+// setup).
 //
 // Scheduling: NewDeficit implements the paper's Algorithm 1, mapping the
 // solved split to per-packet decisions.
@@ -85,9 +89,20 @@ type (
 	TimeoutOptions = core.TimeoutOptions
 	// Solver is a reusable solve context: it owns the simplex tableau and
 	// combination-enumeration workspaces, so repeated solves of
-	// same-shaped networks allocate almost nothing after warmup. Not safe
-	// for concurrent use; use one per goroutine, or SolveMany.
+	// same-shaped networks allocate almost nothing after warmup. Its
+	// Resolve method solves incrementally: when only λ/µ/loss/delay
+	// drift between calls (the §VIII-A adaptive regime), column tables
+	// are rebuilt in place, the column-generation pool is retained and
+	// repriced, and the previous LP basis warm-starts the simplex —
+	// typically ≥5× faster than a cold solve at CG scale, with identical
+	// optima. Not safe for concurrent use; use one per goroutine, or
+	// SolveMany.
 	Solver = core.Solver
+	// TimeoutCache memoizes OptimalTimeouts tables keyed by the delay
+	// inputs alone (delay distributions, lifetime, search options), so
+	// re-solves under λ/µ/loss drift reuse the table for free. Safe for
+	// concurrent use.
+	TimeoutCache = core.TimeoutCache
 	// SolveStats records which solve core ran (dense enumeration,
 	// dominance-pruned dense, or column generation) and what it cost.
 	SolveStats = core.SolveStats
@@ -215,8 +230,17 @@ func SolveQualityCG(n *Network) (*Solution, error) { return core.SolveQualityCG(
 
 // NewSolver returns a reusable Solver for hot loops that solve many
 // same-shaped networks (adaptive re-solves, sweeps): tableau, basis, and
-// enumeration buffers are kept across calls.
+// enumeration buffers are kept across calls. For repeated solves of ONE
+// network shape under drifting estimates, use the Solver's Resolve
+// method — the incremental path that reuses columns, the CG pool, and
+// the LP basis across solves.
 func NewSolver() *Solver { return core.NewSolver() }
+
+// NewTimeoutCache returns an empty OptimalTimeouts cache keyed by the
+// delay inputs alone — the Eq. 34 search never reads λ, µ, losses, or
+// bandwidths, so adaptive re-solves under rate/budget/loss drift hit the
+// cache for free.
+func NewTimeoutCache() *TimeoutCache { return core.NewTimeoutCache() }
 
 // SolveMany solves the quality maximization for every network, fanning
 // the solves across GOMAXPROCS workers with per-worker reusable solvers.

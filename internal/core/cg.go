@@ -18,6 +18,17 @@ const (
 	cgMaxIterations  = 400
 	cgPriceTol       = 1e-9 // reduced-cost threshold: bounds the optimality gap (Σx′ = 1)
 	cgColumnsPerIter = 32
+	// cgCertTolWarm is the warm re-solves' pricing floor. The optimality
+	// gap at termination is bounded by the largest un-added reduced cost
+	// (the conservation row fixes Σx′ = 1), so 1e-7 still guarantees the
+	// 1e-6 warm/cold agreement contract while letting the oracle's
+	// branch-and-bound prune the near-degenerate boundary (hundreds of
+	// combinations within 1e-8 of zero) two orders of magnitude earlier
+	// than the cold path's 1e-9. runCG supports a separate aggressive
+	// intermediate floor, but measurements showed single-floor pricing
+	// strictly faster here (smaller floors add more columns per round
+	// and converge in fewer, cheaper rounds).
+	cgCertTolWarm = 1e-7
 )
 
 // SolveQualityCG solves the quality maximization by column generation
@@ -53,6 +64,19 @@ func (cs *colSet) add(m *model, combo []int) bool {
 	return true
 }
 
+// reevaluate re-prices every pooled column in place against a drifted
+// model of the same shape (path count and transmissions unchanged, so
+// the packed keys stay valid). This is the warm-resolve pool hit: the
+// expensive part of a pooled column — discovering it via the pricing
+// oracle — is reused; only the cheap columnOf pass repeats.
+func (cs *colSet) reevaluate(m *model) {
+	base := m.base
+	clear(cs.cols.shares)
+	for l, combo := range cs.cols.combos {
+		cs.cols.delivery[l], cs.cols.costs[l] = m.columnOf(combo, cs.cols.shares[l*base:(l+1)*base])
+	}
+}
+
 // SolveQualityCG solves the deterministic-delay quality maximization
 // (Eq. 10) without materializing the (n+1)^m combination space: a
 // restricted master problem over a generated column pool is solved with
@@ -73,24 +97,61 @@ func (s *Solver) SolveQualityCG(n *Network) (*Solution, error) {
 	}
 	cs := newColSet()
 	m.seedColumns(cs, s.scratch(m.m))
-	hasCost := !math.IsInf(m.net.CostBound, 1)
+	prob, lpSol, iters, _, err := s.runCG(nil, m, cs, newPricer(m), nil, cgPriceTol, cgPriceTol)
+	if err != nil {
+		return nil, err
+	}
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters}
+	return sol, nil
+}
 
-	pr := newPricer(m)
+// runCG alternates restricted-master LP solves over the column set with
+// exact pricing until no combination prices above certTol (which bounds
+// the optimality gap), returning the final master problem and LP
+// solution plus the iteration count and whether the first master solve
+// warm-started. Intermediate rounds price with priceFloor ≥ certTol —
+// when a round at the aggressive floor comes back empty, one
+// certification round at certTol settles termination. basis, when
+// non-nil, warm-starts the first master and chains each later iteration
+// off its predecessor's optimal basis (remapped across the appended
+// columns) — the incremental re-solve path. The cold path passes nil
+// and equal floors, keeping its per-iteration cold solves: early
+// masters are tiny and reshape fast, where a warm basis buys nothing.
+func (s *Solver) runCG(sc *asmScratch, m *model, cs *colSet, pr *pricer, basis *lp.Basis, priceFloor, certTol float64) (*lp.Problem, *lp.Solution, int, bool, error) {
+	hasCost := !math.IsInf(m.net.CostBound, 1)
+	chain := basis != nil
+	// The persistent-resolve paths (marked by their assembly scratch)
+	// need the final basis captured to warm-start the next re-solve;
+	// the one-shot CG path skips the snapshot.
+	capture := sc != nil
+
 	var prob *lp.Problem
 	var lpSol *lp.Solution
-	iters := 0
+	var err error
+	iters, firstWarm := 0, false
 	for {
 		iters++
 		if iters > cgMaxIterations {
-			return nil, fmt.Errorf("core: column generation did not converge within %d iterations", cgMaxIterations)
+			return nil, nil, 0, false, fmt.Errorf("core: column generation did not converge within %d iterations", cgMaxIterations)
 		}
-		prob = m.assembleProblem(lp.Maximize, cs.cols.delivery, &cs.cols, nil, true)
-		lpSol, err = s.lps.SolveWith(prob, lp.Options{AssumeValid: true})
+		prob = m.assembleProblemInto(sc, lp.Maximize, cs.cols.delivery, &cs.cols, nil, true)
+		opts := lp.Options{AssumeValid: true, CaptureBasis: capture}
+		if basis != nil {
+			opts.WarmBasis = basis.Remap(cs.cols.len(), nil)
+		}
+		lpSol, err = s.lps.SolveWith(prob, opts)
 		if err != nil {
-			return nil, fmt.Errorf("core: solving restricted master: %w", err)
+			return nil, nil, 0, false, fmt.Errorf("core: solving restricted master: %w", err)
 		}
 		if lpSol.Status != lp.Optimal {
-			return nil, fmt.Errorf("core: restricted master unexpectedly %v", lpSol.Status)
+			return nil, nil, 0, false, fmt.Errorf("core: restricted master unexpectedly %v", lpSol.Status)
+		}
+		if iters == 1 {
+			firstWarm = lpSol.PhaseISkipped
+		}
+		if chain {
+			basis = lpSol.Basis
 		}
 
 		// Dual layout follows assembleProblem's row order: one bandwidth
@@ -107,19 +168,25 @@ func (s *Solver) SolveQualityCG(n *Network) (*Solution, error) {
 		pr.reprice(lpSol.Dual[:m.base-1], yCost, y0)
 
 		added := 0
-		for _, cand := range pr.price() {
+		for _, cand := range pr.price(priceFloor) {
 			if cs.add(m, cand) {
 				added++
 			}
 		}
+		if added == 0 && priceFloor > certTol {
+			// Nothing above the aggressive floor: certify at the tight
+			// tolerance before declaring optimality.
+			for _, cand := range pr.price(certTol) {
+				if cs.add(m, cand) {
+					added++
+				}
+			}
+		}
 		if added == 0 {
-			break // oracle certifies: no combination prices positive
+			break // oracle certifies: no combination prices above certTol
 		}
 	}
-
-	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
-	sol.Stats = SolveStats{Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters}
-	return sol, nil
+	return prob, lpSol, iters, firstWarm, nil
 }
 
 // seedColumns primes the restricted master: the all-blackhole column
@@ -225,6 +292,16 @@ func newPricer(m *model) *pricer {
 	}
 }
 
+// bind points the pricer at a drifted model of the same shape (same
+// base and transmissions), so a persistent warm-resolve state can reuse
+// the pricer's workspaces across solves. Per-path coefficients are
+// reloaded by reprice each iteration anyway.
+func (p *pricer) bind(m *model) {
+	p.m = m
+	p.δ = m.net.Lifetime
+	p.dmin = m.dmin
+}
+
 // reprice loads a new dual vector: yBW has one multiplier per real path
 // (model index i at yBW[i-1]).
 func (p *pricer) reprice(yBW []float64, yCost, y0 float64) {
@@ -258,10 +335,10 @@ func (p *pricer) reprice(yBW []float64, yCost, y0 float64) {
 }
 
 // price returns up to cgColumnsPerIter combinations with reduced cost
-// above cgPriceTol.
-func (p *pricer) price() [][]int {
+// above the floor.
+func (p *pricer) price(floor float64) [][]int {
 	p.found = p.found[:0]
-	p.flo = cgPriceTol
+	p.flo = floor
 	p.dfs(0, 0, 1, 0)
 	out := make([][]int, len(p.found))
 	for i, f := range p.found {

@@ -77,8 +77,21 @@ func (m *model) columnOf(combo []int, share []float64) (delivery, cost float64) 
 // columnOf — the allocation-light dense enumeration. digits is
 // caller-provided scratch of length ≥ m.
 func (m *model) computeColumns(digits []int) *columns {
+	cols := newColumns(m.nVars, m.base, m.m)
+	m.computeColumnsInto(cols, digits)
+	return cols
+}
+
+// computeColumnsInto re-evaluates the dense column tables in place for a
+// model whose coefficients (λ, µ, loss, delay) drifted but whose shape
+// (path count, transmissions) did not: cols must have been built by
+// computeColumns for the same (nVars, base, trans). Every entry is
+// overwritten, so no allocation survives a re-solve — the heart of the
+// incremental warm path. Callers holding a Solution that shares cols see
+// it change underneath them; Solver.Resolve documents that contract.
+func (m *model) computeColumnsInto(cols *columns, digits []int) {
 	base, trans, nVars := m.base, m.m, m.nVars
-	cols := newColumns(nVars, base, trans)
+	clear(cols.shares)
 	digits = digits[:trans]
 	for k := range digits {
 		digits[k] = 0
@@ -97,7 +110,6 @@ func (m *model) computeColumns(digits []int) *columns {
 			digits[k] = 0
 		}
 	}
-	return cols
 }
 
 // appendColumn evaluates combo's column and appends it, copying the

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmc/internal/lp"
+)
+
+// Pool-retention parameters of the warm CG path. Every re-solve can add
+// freshly priced columns; on a long drift trajectory the pool would
+// otherwise grow without bound and the restricted master would slow past
+// the cold solve it is meant to beat. Above cgTrimTrigger columns the
+// warm path trims the pool down to the cgTrimKeep columns with the best
+// reduced cost under the previous duals (always keeping the basic ones).
+// A threshold-based trim does not work here: the master is massively
+// degenerate — hundreds of combinations price within 1e-3 of zero — so
+// ranking, not thresholding, is what bounds the pool. Columns a later
+// drift genuinely needs are re-discovered by the pricing oracle.
+// cgMaxPoolColumns is the hard backstop past which the warm state is
+// dropped entirely (defensive; trimming keeps pools far below it).
+const (
+	cgTrimTrigger    = 512
+	cgTrimKeep       = 256
+	cgMaxPoolColumns = 8192
+)
+
+// resolveState is the persistent warm-start state behind Solver.Resolve:
+// everything reusable across solves of same-shaped networks whose
+// λ/µ/loss/delay coefficients drift. It is invalidated whenever the
+// network shape (path count, transmissions, cost-boundedness) or the
+// planned dispatch changes.
+type resolveState struct {
+	valid bool
+
+	// Shape key.
+	nPaths   int
+	trans    int
+	hasCost  bool
+	dispatch Dispatch
+
+	// Dense and pruned dispatch: the full dense column table, rebuilt in
+	// place each re-solve.
+	dense *columns
+	// Pruned dispatch: packed combination keys of the previous master's
+	// columns, in column order, for remapping the LP basis onto the next
+	// solve's (possibly different) surviving subset.
+	keptKeys []uint64
+
+	// CG dispatch: the persistent column pool and pricing oracle.
+	pool   *colSet
+	pricer *pricer
+
+	// Optimal LP basis of the previous solve and the structural column
+	// count it was captured against.
+	basis *lp.Basis
+	lastN int
+	// duals is the previous master's dual vector (CG dispatch), used to
+	// score pooled columns for trimming.
+	duals []float64
+}
+
+// matches reports whether the warm state can serve the network.
+func (rs *resolveState) matches(s *Solver, n *Network) bool {
+	return rs.valid &&
+		rs.nPaths == len(n.Paths) &&
+		rs.trans == n.transmissions() &&
+		rs.hasCost == !math.IsInf(n.CostBound, 1) &&
+		rs.dispatch == s.plannedDispatch(n)
+}
+
+// plannedDispatch computes which solve core SolveQuality/Resolve will
+// use for the network's shape under the solver's current thresholds.
+func (s *Solver) plannedDispatch(n *Network) Dispatch {
+	if !s.denseDispatchOK(n) {
+		return DispatchCG
+	}
+	nVars, _ := combinationCount(len(n.Paths)+1, n.transmissions(), DenseLimit)
+	th := s.PruneThreshold
+	if th == 0 {
+		th = DefaultPruneThreshold
+	}
+	if th >= 0 && nVars > th {
+		return DispatchPruned
+	}
+	return DispatchDense
+}
+
+// Resolve solves the deterministic-delay quality maximization (Eq. 10)
+// incrementally: when the network shape (path count, transmissions,
+// cost-boundedness) matches the previous Resolve call on this Solver and
+// only the coefficients — λ, µ, per-path loss, delay, bandwidth, cost —
+// drifted, the solve reuses everything structural from last time instead
+// of starting cold:
+//
+//   - the dense column tables are rebuilt in place (no re-allocation),
+//   - the column-generation pool is retained and repriced, so the
+//     branch-and-bound pricing oracle only searches for columns the
+//     drift actually made attractive,
+//   - the previous optimal simplex basis is re-installed, skipping LP
+//     Phase I whenever it is still feasible for the perturbed
+//     coefficients (with automatic cold fallback when it is not).
+//
+// The result is identical to a cold SolveQuality up to solver tolerance;
+// Solution.Stats reports Warm, PhaseISkipped, and the pool hit counts.
+// On a shape change — or any failure of the warm path — Resolve falls
+// back to a cold solve transparently and re-primes the state.
+//
+// The returned Solution shares column storage with the Solver's warm
+// state: it is valid until the next Resolve call on the same Solver,
+// which rebuilds that storage in place. Callers that need a solution to
+// outlive the next re-solve must extract what they need first (or use
+// SolveQuality, which never reuses result storage). Like every Solver
+// method, Resolve is not safe for concurrent use.
+func (s *Solver) Resolve(n *Network) (*Solution, error) {
+	if s.rs.matches(s, n) {
+		sol, err := s.resolveWarm(n)
+		if err == nil {
+			return sol, nil
+		}
+		// The warm state proved unusable (diverged column generation,
+		// stale pool past its cap, …): drop it and solve cold. A stale
+		// cache must never fail a solve that a cold path can do.
+		s.rs = resolveState{}
+	}
+	return s.resolveCold(n)
+}
+
+// resolveCold primes the warm state with a cold solve.
+func (s *Solver) resolveCold(n *Network) (*Solution, error) {
+	s.rs = resolveState{}
+	dispatch := s.plannedDispatch(n)
+	var (
+		sol *Solution
+		err error
+	)
+	if dispatch == DispatchCG {
+		sol, err = s.resolveColdCG(n)
+	} else {
+		sol, err = s.resolveColdDense(n)
+	}
+	if err != nil {
+		s.rs = resolveState{}
+		return nil, err
+	}
+	s.rs.valid = true
+	s.rs.nPaths = len(n.Paths)
+	s.rs.trans = n.transmissions()
+	s.rs.hasCost = !math.IsInf(n.CostBound, 1)
+	s.rs.dispatch = dispatch
+	return sol, nil
+}
+
+// resolveColdDense is the dense/pruned cold solve with state capture.
+func (s *Solver) resolveColdDense(n *Network) (*Solution, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	full := m.computeColumns(s.scratch(m.m))
+	cols, index := s.pruneIfWorthwhile(m, full)
+	prob := m.assembleProblemInto(&s.asm, lp.Maximize, cols.delivery, cols, nil, true)
+	lpSol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true, CaptureBasis: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+	}
+	if lpSol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: quality LP unexpectedly %v", lpSol.Status)
+	}
+	out := m.newSolutionIndexed(prob, cols, lpSol.X, lpSol.Objective, index)
+	out.Stats = denseStats(m, cols, index)
+
+	s.rs.dense = full
+	s.rs.basis = lpSol.Basis
+	s.rs.lastN = cols.len()
+	s.rs.keptKeys = packedKeys(m, cols, nil)
+	return out, nil
+}
+
+// resolveColdCG is the column-generation cold solve with pool capture.
+func (s *Solver) resolveColdCG(n *Network) (*Solution, error) {
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, err
+	}
+	cs := newColSet()
+	m.seedColumns(cs, s.scratch(m.m))
+	pr := newPricer(m)
+	prob, lpSol, iters, _, err := s.runCG(&s.asm, m, cs, pr, nil, cgPriceTol, cgPriceTol)
+	if err != nil {
+		return nil, err
+	}
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{
+		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters,
+		PoolAdded: cs.cols.len(),
+	}
+
+	s.rs.pool = cs
+	s.rs.pricer = pr
+	s.rs.basis = lpSol.Basis
+	s.rs.lastN = cs.cols.len()
+	s.rs.duals = append(s.rs.duals[:0], lpSol.Dual...)
+	return sol, nil
+}
+
+// resolveWarm dispatches the warm re-solve; any error sends Resolve down
+// the cold path.
+func (s *Solver) resolveWarm(n *Network) (*Solution, error) {
+	switch s.rs.dispatch {
+	case DispatchCG:
+		return s.resolveWarmCG(n)
+	default:
+		return s.resolveWarmDense(n)
+	}
+}
+
+// resolveWarmDense re-solves the dense and pruned dispatches: the dense
+// column table is re-evaluated in place and solved whole, with the
+// previous basis remapped onto it via packed combination keys. The
+// dominance pruner is deliberately NOT re-run on the warm path — its
+// full sweep (sort + pairwise checks + column copies) costs more than
+// warm-starting the simplex over the unpruned table, which the basis
+// lands within a few pivots of optimal anyway. (The cold prime still
+// prunes; only re-solves skip it.)
+func (s *Solver) resolveWarmDense(n *Network) (*Solution, error) {
+	m, err := newModel(n)
+	if err != nil {
+		return nil, err
+	}
+	full := s.rs.dense
+	if full == nil {
+		return nil, fmt.Errorf("core: warm state has no cached columns")
+	}
+	if full.len() != m.nVars {
+		return nil, fmt.Errorf("core: warm state shape mismatch (%d cached columns, %d needed)", full.len(), m.nVars)
+	}
+	m.computeColumnsInto(full, s.scratch(m.m))
+
+	prob := m.assembleProblemInto(&s.asm, lp.Maximize, full.delivery, full, nil, true)
+	opts := lp.Options{AssumeValid: true, CaptureBasis: true}
+	if s.rs.basis != nil {
+		opts.WarmBasis = s.rs.basis.Remap(full.len(), s.basisPerm())
+	}
+	lpSol, err := s.lps.SolveWith(prob, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+	}
+	if lpSol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: quality LP unexpectedly %v", lpSol.Status)
+	}
+	out := m.newSolution(prob, full, lpSol.X, lpSol.Objective)
+	// Report the shape's planned dispatch (dense or pruned) so warm and
+	// cold solves of the same network label their rows consistently,
+	// even though the warm path solves the full table either way.
+	out.Stats = SolveStats{Dispatch: s.rs.dispatch, Columns: full.len()}
+	out.Stats.Warm = true
+	out.Stats.PhaseISkipped = lpSol.PhaseISkipped
+
+	s.rs.basis = lpSol.Basis
+	s.rs.lastN = full.len()
+	s.rs.keptKeys = nil // full-table solve: identity keys from here on
+	return out, nil
+}
+
+// resolveWarmCG re-solves the column-generation dispatch: the pooled
+// columns are repriced in place (every one a pricing-oracle call saved),
+// and the CG loop continues from the previous optimal basis.
+func (s *Solver) resolveWarmCG(n *Network) (*Solution, error) {
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, err
+	}
+	cs := s.rs.pool
+	if cs.cols.len() > cgMaxPoolColumns {
+		return nil, fmt.Errorf("core: warm column pool exceeded %d columns", cgMaxPoolColumns)
+	}
+	cs.reevaluate(m)
+	pr := s.rs.pricer
+	pr.bind(m)
+
+	var basis *lp.Basis
+	if s.rs.lastN == cs.cols.len() {
+		basis = s.rs.basis
+	}
+	if cs.cols.len() > cgTrimTrigger {
+		cs, basis = s.trimPool(m, basis)
+	}
+	poolHits := cs.cols.len()
+	prob, lpSol, iters, firstWarm, err := s.runCG(&s.asm, m, cs, pr, basis, cgCertTolWarm, cgCertTolWarm)
+	if err != nil {
+		return nil, err
+	}
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{
+		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters,
+		Warm: true, PhaseISkipped: firstWarm,
+		PoolHits: poolHits, PoolAdded: cs.cols.len() - poolHits,
+	}
+
+	s.rs.pool = cs
+	s.rs.basis = lpSol.Basis
+	s.rs.lastN = cs.cols.len()
+	s.rs.duals = append(s.rs.duals[:0], lpSol.Dual...)
+	return sol, nil
+}
+
+// trimPool compacts the warm column pool to the cgTrimKeep columns with
+// the best reduced cost under the previous master's duals (evaluated on
+// the already-repriced drifted columns), always keeping the basic ones.
+// Returns the compact pool and the basis remapped onto it (nil when a
+// basic column could not be preserved, which sends the master down the
+// cold-LP path but keeps the pool win).
+func (s *Solver) trimPool(m *model, basis *lp.Basis) (*colSet, *lp.Basis) {
+	cs := s.rs.pool
+	duals := s.rs.duals
+	n := cs.cols.len()
+	if n <= cgTrimKeep || duals == nil || len(duals) < m.base {
+		return cs, basis
+	}
+	λ := m.net.Rate
+	base := m.base
+	yBW := duals[:base-1]
+	next := base - 1
+	yCost := 0.0
+	if !math.IsInf(m.net.CostBound, 1) {
+		yCost = duals[next]
+		next++
+	}
+	y0 := duals[next]
+
+	rc := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := cs.cols.delivery[j] - λ*yCost*cs.cols.costs[j] - y0
+		shares := cs.cols.shares[j*base : (j+1)*base]
+		for i := 1; i < base; i++ {
+			v -= λ * yBW[i-1] * shares[i]
+		}
+		rc[j] = v
+	}
+
+	keep := make([]bool, n)
+	kept := 0
+	// The all-blackhole column (packed key 0) is what keeps the master
+	// feasible under ANY bandwidth/cost drift — x′_blackhole = 1 uses no
+	// constrained resource. Trimming it can leave the restricted master
+	// genuinely infeasible after a hostile drift, killing the warm state.
+	for j := 0; j < n; j++ {
+		if cs.keys[j] == 0 {
+			keep[j] = true
+			kept++
+			break
+		}
+	}
+	if basis != nil {
+		for _, c := range basis.StructuralCols() {
+			if c >= 0 && c < n && !keep[c] {
+				keep[c] = true
+				kept++
+			}
+		}
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return rc[order[a]] > rc[order[b]] })
+	for _, j := range order {
+		if kept >= cgTrimKeep {
+			break
+		}
+		if !keep[j] {
+			keep[j] = true
+			kept++
+		}
+	}
+
+	out := newColSet()
+	perm := make([]int, n)
+	for j := 0; j < n; j++ {
+		if !keep[j] {
+			perm[j] = -1
+			continue
+		}
+		perm[j] = out.cols.len()
+		out.pos[cs.keys[j]] = out.cols.len()
+		out.keys = append(out.keys, cs.keys[j])
+		out.cols.appendFrom(&cs.cols, j, base)
+	}
+	if basis != nil {
+		basis = basis.Remap(out.cols.len(), perm)
+	}
+	return out, basis
+}
+
+// basisPerm builds the structural-column permutation mapping the
+// previous solve's column positions onto the full dense table: old
+// position j held the combination with key keptKeys[j], and for an
+// unpruned dense table the packed key IS the enumeration index (Eq. 13).
+// A nil keptKeys means the previous solve already used the full table —
+// the identity (nil perm) applies.
+func (s *Solver) basisPerm() []int {
+	old := s.rs.keptKeys
+	if old == nil {
+		return nil
+	}
+	perm := make([]int, len(old))
+	for j, key := range old {
+		perm[j] = int(key)
+	}
+	return perm
+}
+
+// packedKeys returns the packed combination key of every column, reusing
+// buf when it has capacity. For an unpruned dense table the keys equal
+// the enumeration order, but storing them uniformly keeps the basis
+// remap independent of which shape the previous solve took.
+func packedKeys(m *model, cols *columns, buf []uint64) []uint64 {
+	if cap(buf) < cols.len() {
+		buf = make([]uint64, cols.len())
+	}
+	buf = buf[:cols.len()]
+	for l, combo := range cols.combos {
+		buf[l] = m.packKey(combo)
+	}
+	return buf
+}

@@ -35,6 +35,21 @@ type SolveStats struct {
 	// CGIterations counts restricted-master solves (0 unless column
 	// generation ran).
 	CGIterations int
+	// Warm reports the solve ran incrementally from a Solver's
+	// persistent re-solve state (Solver.Resolve with a matching network
+	// shape): columns were rebuilt in place and, for column generation,
+	// the pooled columns were repriced instead of regenerated.
+	Warm bool
+	// PhaseISkipped reports the first LP solve re-installed the previous
+	// optimal basis as a feasible starting point and skipped simplex
+	// Phase I entirely.
+	PhaseISkipped bool
+	// PoolHits counts column-generation columns reused (repriced in
+	// place) from the persistent pool; PoolAdded counts columns the
+	// pricing oracle newly generated during this solve. Both are zero
+	// outside the CG dispatch.
+	PoolHits  int
+	PoolAdded int
 }
 
 // Solution is an optimal sending strategy: the fraction of application

@@ -29,6 +29,14 @@ type Solver struct {
 	lps    lp.Solver
 	digits []int
 
+	// rs is the persistent incremental re-solve state behind Resolve;
+	// SolveQuality and the other one-shot entry points never touch it.
+	rs resolveState
+	// asm is the LP-assembly arena the Resolve paths rewrite in place
+	// (their returned Solutions are documented as invalidated by the
+	// next Resolve; the one-shot entry points assemble fresh storage).
+	asm asmScratch
+
 	// DenseThreshold overrides the combination count above which
 	// SolveQuality dispatches to column generation instead of dense
 	// enumeration. Zero selects DefaultDenseThreshold; negative forces
@@ -194,6 +202,18 @@ func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error)
 	return out, nil
 }
 
+// asmScratch is a reusable LP-assembly arena: the constraint headers,
+// the flat coefficient backing, and the Problem value itself, rewritten
+// in place by assembleProblemInto. Solve paths that document result
+// invalidation (Solver.Resolve) route their assemblies through one of
+// these so re-solves stop paying the dominant makeslice+clear cost of
+// problem construction.
+type asmScratch struct {
+	prob    lp.Problem
+	cons    []lp.Constraint
+	backing []float64
+}
+
 // assembleProblem builds the common LP skeleton around the given
 // objective: bandwidth rows (Eqs. 14–15/29), an optional extra row (the
 // §VI-A quality floor), the cost row (Eq. 16/30) when costRow is set and
@@ -202,6 +222,13 @@ func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error)
 // slices from cols are referenced, never copied, so the Problem shares
 // storage with the Solution's own column tables.
 func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, extra *lp.Constraint, costRow bool) *lp.Problem {
+	return m.assembleProblemInto(nil, sense, obj, cols, extra, costRow)
+}
+
+// assembleProblemInto is assembleProblem writing into a reusable
+// scratch arena; a nil scratch allocates fresh storage (the one-shot
+// solve paths, whose returned Solutions must stay immutable).
+func (m *model) assembleProblemInto(sc *asmScratch, sense lp.Sense, obj []float64, cols *columns, extra *lp.Constraint, costRow bool) *lp.Problem {
 	λ := m.net.Rate
 	base, nVars := m.base, cols.len()
 	hasCost := costRow && !math.IsInf(m.net.CostBound, 1)
@@ -213,8 +240,21 @@ func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, ex
 	if extra != nil {
 		nRows++
 	}
-	cons := make([]lp.Constraint, 0, nRows)
-	backing := make([]float64, nVars*nRows)
+	var cons []lp.Constraint
+	var backing []float64
+	if sc != nil {
+		if cap(sc.cons) < nRows {
+			sc.cons = make([]lp.Constraint, 0, nRows)
+		}
+		if cap(sc.backing) < nVars*nRows {
+			sc.backing = make([]float64, nVars*nRows)
+		}
+		cons = sc.cons[:0]
+		backing = sc.backing[:nVars*nRows]
+	} else {
+		cons = make([]lp.Constraint, 0, nRows)
+		backing = make([]float64, nVars*nRows)
+	}
 	nextRow := func() []float64 {
 		row := backing[:nVars:nVars]
 		backing = backing[nVars:]
@@ -246,6 +286,11 @@ func (m *model) assembleProblem(sense lp.Sense, obj []float64, cols *columns, ex
 	}
 	cons = append(cons, lp.Constraint{Name: "conservation", Coeffs: ones, Rel: lp.EQ, RHS: 1})
 
+	if sc != nil {
+		sc.cons = cons
+		sc.prob = lp.Problem{Sense: sense, Objective: obj, Constraints: cons}
+		return &sc.prob
+	}
 	return &lp.Problem{Sense: sense, Objective: obj, Constraints: cons}
 }
 

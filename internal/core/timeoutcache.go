@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dmc/internal/dist"
+)
+
+// TimeoutCache memoizes OptimalTimeouts tables keyed by the inputs the
+// Eq. 26/34 search actually depends on: the per-path delay
+// distributions, the data lifetime δ, and the search options — NOT the
+// rate λ, cost budget µ, losses, bandwidths, or costs. The timeout
+// t_{i,j} balances two delay tails and nothing else, so adaptive
+// re-solves under λ/µ/loss drift (§VIII-A) can reuse the table for free
+// while a delay-estimate change recomputes exactly the affected key.
+//
+// Cached tables are shared between callers and must be treated as
+// read-only (do not call Timeouts.Set on them). A TimeoutCache is safe
+// for concurrent use.
+type TimeoutCache struct {
+	mu      sync.Mutex
+	entries map[string]*Timeouts
+	hits    int64
+	misses  int64
+}
+
+// NewTimeoutCache returns an empty cache.
+func NewTimeoutCache() *TimeoutCache {
+	return &TimeoutCache{entries: make(map[string]*Timeouts)}
+}
+
+// OptimalTimeouts returns the Eq. 34 timeout table for the network,
+// computing it on first use per distinct (delays, lifetime, options)
+// key. Paths whose delay model is not one of the built-in distributions
+// (Deterministic, Uniform, ShiftedGamma) defeat keying; such networks
+// are solved directly on every call and counted as misses.
+func (c *TimeoutCache) OptimalTimeouts(n *Network, opts TimeoutOptions) (*Timeouts, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	key, ok := timeoutKey(n, opts.withDefaults())
+	if !ok {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return OptimalTimeouts(n, opts)
+	}
+
+	c.mu.Lock()
+	if to, hit := c.entries[key]; hit {
+		c.hits++
+		c.mu.Unlock()
+		return to, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock: timeout searches are milliseconds-long
+	// and concurrent callers with different keys must not serialize.
+	// Concurrent same-key callers may both compute; last store wins and
+	// both tables are identical (the search is deterministic).
+	to, err := OptimalTimeouts(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = to
+	c.mu.Unlock()
+	return to, nil
+}
+
+// Stats returns how many lookups hit and missed the cache.
+func (c *TimeoutCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached tables.
+func (c *TimeoutCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// timeoutKey serializes everything the Eq. 34 search reads. ok = false
+// when a path carries a delay model the key cannot identify.
+func timeoutKey(n *Network, opts TimeoutOptions) (string, bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "δ=%d|grid=%d|refine=%d|nodes=%d",
+		int64(n.Lifetime), int64(opts.GridStep), opts.RefineLevels, opts.ConvolutionNodes)
+	for _, p := range n.Paths {
+		b.WriteByte('|')
+		if !writeDelayKey(&b, p.delayDist()) {
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// writeDelayKey appends a canonical encoding of a built-in delay
+// distribution; unknown implementations report false (not cacheable —
+// two distinct instances cannot be told apart safely).
+func writeDelayKey(b *strings.Builder, d dist.Delay) bool {
+	switch v := d.(type) {
+	case dist.Deterministic:
+		fmt.Fprintf(b, "det:%d", int64(v.D))
+	case dist.Uniform:
+		fmt.Fprintf(b, "uni:%d,%d", int64(v.Lo), int64(v.Hi))
+	case dist.ShiftedGamma:
+		fmt.Fprintf(b, "gam:%d,%x,%d", int64(v.Loc), v.Shape, int64(v.Scale))
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dmc/internal/dist"
+)
+
+// cacheTestNetwork is a small §VI-B random-delay network for timeout
+// cache tests (coarse search options keep each miss cheap).
+func cacheTestNetwork() *Network {
+	n := NewNetwork(10*Mbps, 500*time.Millisecond,
+		Path{Bandwidth: 20 * Mbps, Loss: 0.1,
+			RandDelay: dist.ShiftedGamma{Loc: 100 * time.Millisecond, Shape: 4, Scale: 5 * time.Millisecond}},
+		Path{Bandwidth: 20 * Mbps, Loss: 0.02,
+			RandDelay: dist.Uniform{Lo: 150 * time.Millisecond, Hi: 200 * time.Millisecond}},
+	)
+	return n
+}
+
+func coarseOpts() TimeoutOptions {
+	return TimeoutOptions{GridStep: 25 * time.Millisecond, RefineLevels: 1, ConvolutionNodes: 200}
+}
+
+// TestTimeoutCacheHitsAcrossRateDrift is the acceptance test: drifting
+// only λ and µ (and even loss/bandwidth/cost) between calls must hit the
+// cache — the Eq. 34 search depends on delays and lifetime alone.
+func TestTimeoutCacheHitsAcrossRateDrift(t *testing.T) {
+	c := NewTimeoutCache()
+	n := cacheTestNetwork()
+	first, err := c.OptimalTimeouts(n, coarseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first call: hits=%d misses=%d", hits, misses)
+	}
+
+	// λ/µ/loss/bandwidth/cost drift: same key.
+	drifted := *n
+	drifted.Paths = append([]Path(nil), n.Paths...)
+	drifted.Rate *= 1.1
+	drifted.CostBound = 1e6
+	for i := range drifted.Paths {
+		drifted.Paths[i].Bandwidth *= 0.9
+		drifted.Paths[i].Loss += 0.05
+		drifted.Paths[i].Cost += 1
+	}
+	second, err := c.OptimalTimeouts(&drifted, coarseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("λ/µ drift did not return the cached table")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("after drifted call: hits=%d misses=%d", hits, misses)
+	}
+
+	// Matching direct computation.
+	direct, err := OptimalTimeouts(n, coarseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.T {
+		for j := range direct.T[i] {
+			if direct.T[i][j] != first.T[i][j] {
+				t.Fatalf("cached t[%d][%d]=%v, direct %v", i, j, first.T[i][j], direct.T[i][j])
+			}
+		}
+	}
+}
+
+// TestTimeoutCacheMissesOnDelayChange verifies a delay-estimate change
+// recomputes: new key, new table.
+func TestTimeoutCacheMissesOnDelayChange(t *testing.T) {
+	c := NewTimeoutCache()
+	n := cacheTestNetwork()
+	first, err := c.OptimalTimeouts(n, coarseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := *n
+	moved.Paths = append([]Path(nil), n.Paths...)
+	moved.Paths[0].RandDelay = dist.ShiftedGamma{Loc: 150 * time.Millisecond, Shape: 4, Scale: 5 * time.Millisecond}
+	second, err := c.OptimalTimeouts(&moved, coarseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == first {
+		t.Fatal("delay change returned the stale cached table")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", hits, misses)
+	}
+	// Lifetime and search options are part of the key too.
+	shorter := *n
+	shorter.Lifetime = 400 * time.Millisecond
+	if _, err := c.OptimalTimeouts(&shorter, coarseOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d tables, want 3", c.Len())
+	}
+}
+
+// unkeyableDelay is a Delay implementation the cache cannot identify.
+type unkeyableDelay struct{ dist.Deterministic }
+
+// TestTimeoutCacheBypassesUnknownDistributions: unknown delay models
+// must compute every time (counted as misses), never alias distinct
+// instances onto one key.
+func TestTimeoutCacheBypassesUnknownDistributions(t *testing.T) {
+	c := NewTimeoutCache()
+	n := NewNetwork(10*Mbps, 500*time.Millisecond,
+		Path{Bandwidth: 20 * Mbps, Loss: 0.1,
+			RandDelay: unkeyableDelay{dist.Deterministic{D: 100 * time.Millisecond}}},
+	)
+	for i := 0; i < 2; i++ {
+		if _, err := c.OptimalTimeouts(n, coarseOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2 (bypass)", hits, misses)
+	}
+	if c.Len() != 0 {
+		t.Fatal("unkeyable network was cached")
+	}
+}
+
+// TestTimeoutCacheConcurrent hammers one cache from many goroutines
+// mixing hit and miss keys (for the race detector).
+func TestTimeoutCacheConcurrent(t *testing.T) {
+	c := NewTimeoutCache()
+	n := cacheTestNetwork()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			net := *n
+			net.Rate *= 1 + float64(w)/10 // λ drift only: same key
+			for i := 0; i < 3; i++ {
+				if _, err := c.OptimalTimeouts(&net, coarseOpts()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 24 {
+		t.Fatalf("hits=%d misses=%d, want 24 lookups", hits, misses)
+	}
+	if hits == 0 {
+		t.Fatal("no concurrent lookup ever hit")
+	}
+}

@@ -235,7 +235,12 @@ func (m *RateMeter) Rate(now time.Duration) float64 {
 }
 
 // Adaptor maintains per-path estimates over a base network and re-solves
-// the LP when they drift beyond a relative tolerance.
+// the LP when they drift beyond a relative tolerance. Re-solves run on a
+// private core.Solver's incremental path (Solver.Resolve): the network
+// shape never changes between polls — only the estimated coefficients —
+// so every re-solve after the first reuses the previous column tables,
+// pooled CG columns, and LP basis. An Adaptor is not safe for concurrent
+// use.
 type Adaptor struct {
 	base *core.Network
 	// RelTol is the relative drift that triggers a re-solve; zero means
@@ -244,6 +249,10 @@ type Adaptor struct {
 
 	loss []Loss
 	rtt  []RTT
+
+	solver   *core.Solver
+	estPaths []core.Path  // scratch reused by EstimatedNetwork
+	estNet   core.Network // scratch header reused by EstimatedNetwork
 
 	solvedOn *core.Network
 	solution *core.Solution
@@ -257,9 +266,10 @@ func NewAdaptor(base *core.Network) (*Adaptor, error) {
 		return nil, err
 	}
 	return &Adaptor{
-		base: base,
-		loss: make([]Loss, len(base.Paths)),
-		rtt:  make([]RTT, len(base.Paths)),
+		base:   base,
+		loss:   make([]Loss, len(base.Paths)),
+		rtt:    make([]RTT, len(base.Paths)),
+		solver: core.NewSolver(),
 	}, nil
 }
 
@@ -284,9 +294,19 @@ func (a *Adaptor) Forget(f float64) {
 // EstimatedNetwork returns the base network with live loss and delay
 // estimates substituted. One-way delays derive from RTTs per the paper's
 // scheme: RTT_i = dᵢ + d_min, and the ack path's own RTT = 2·d_min.
+//
+// The returned Network reuses a scratch buffer owned by the Adaptor
+// (this runs on the estimator poll hot path and must not allocate): it
+// is valid until the next EstimatedNetwork or Solution call. Copy it —
+// including the Paths slice — to keep a snapshot.
 func (a *Adaptor) EstimatedNetwork() *core.Network {
-	n := *a.base
-	n.Paths = append([]core.Path(nil), a.base.Paths...)
+	if a.estPaths == nil {
+		a.estPaths = make([]core.Path, len(a.base.Paths))
+	}
+	n := &a.estNet
+	*n = *a.base
+	n.Paths = a.estPaths
+	copy(n.Paths, a.base.Paths)
 	ackIdx := a.base.AckPathIndex()
 	dmin := a.rtt[ackIdx].Smoothed() / 2
 	for i := range n.Paths {
@@ -300,23 +320,34 @@ func (a *Adaptor) EstimatedNetwork() *core.Network {
 		}
 		n.Paths[i].Loss = a.loss[i].Rate()
 	}
-	return &n
+	return n
 }
 
 // Solution returns the current strategy, solving on first use or when
 // estimates drifted beyond RelTol since the last solve. The bool reports
 // whether a re-solve happened.
+//
+// Re-solves run incrementally (core.Solver.Resolve), so the returned
+// Solution shares storage with the Adaptor's solver: it is valid until
+// the next re-solve — i.e. until Solution next returns true. Callers
+// holding strategies across drift events must extract what they need
+// (X, Quality, per-path rates) before polling again.
 func (a *Adaptor) Solution() (*core.Solution, bool, error) {
 	cur := a.EstimatedNetwork()
 	if a.solution != nil && !a.drifted(cur) {
 		return a.solution, false, nil
 	}
-	sol, err := core.SolveQuality(cur)
+	// Snapshot the estimate before solving: cur aliases the Adaptor's
+	// scratch buffer, and drifted() must later compare against the
+	// estimates as they were at solve time, not a mutated buffer.
+	snap := *cur
+	snap.Paths = append([]core.Path(nil), cur.Paths...)
+	sol, err := a.solver.Resolve(&snap)
 	if err != nil {
 		return nil, false, fmt.Errorf("estimate: adaptive re-solve: %w", err)
 	}
 	a.solution = sol
-	a.solvedOn = cur
+	a.solvedOn = &snap
 	a.resolves++
 	return sol, true, nil
 }

@@ -232,3 +232,58 @@ func TestAdaptorDriftThresholds(t *testing.T) {
 		t.Error("0.5% loss drift should stay under the 1% floor")
 	}
 }
+
+// TestAdaptorIncrementalResolve verifies drift re-solves run on the
+// solver's warm incremental path: the network shape never changes
+// between polls, so every re-solve after the first must reuse the
+// persistent state.
+func TestAdaptorIncrementalResolve(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := a.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Warm {
+		t.Fatal("first solve reported warm")
+	}
+	// Successive loss drifts, each past the 1% floor.
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < 100; i++ {
+			a.ObserveSend(0)
+			if i < 10*round {
+				a.ObserveLoss(0)
+			}
+		}
+		sol, solved, err := a.Solution()
+		if err != nil || !solved {
+			t.Fatalf("round %d: solved=%v err=%v", round, solved, err)
+		}
+		if !sol.Stats.Warm {
+			t.Fatalf("round %d: re-solve did not use the incremental path", round)
+		}
+	}
+	if a.Resolves() != 4 {
+		t.Errorf("resolves = %d, want 4", a.Resolves())
+	}
+}
+
+// TestAdaptorEstimatedNetworkReusesScratch pins the hot-path contract:
+// after the first call, EstimatedNetwork allocates nothing and returns
+// the same backing storage.
+func TestAdaptorEstimatedNetworkReusesScratch(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := a.EstimatedNetwork()
+	n2 := a.EstimatedNetwork()
+	if n1 != n2 || &n1.Paths[0] != &n2.Paths[0] {
+		t.Fatal("EstimatedNetwork reallocated its scratch")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { a.EstimatedNetwork() }); allocs != 0 {
+		t.Errorf("EstimatedNetwork allocates %v per call, want 0", allocs)
+	}
+}

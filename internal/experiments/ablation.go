@@ -28,7 +28,9 @@ func SchedulerAblation(messages int, seed uint64) ([]SchedulerAblationRow, error
 		messages = FullMessageCount
 	}
 	n := TableIIINetwork(90, 800*time.Millisecond)
-	sol, err := core.SolveQuality(n)
+	solver := borrowSolver()
+	sol, err := solver.SolveQuality(n)
+	returnSolver(solver)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +112,9 @@ func AckAblation(messages int, ackLoss float64, seed uint64) ([]AckAblationRow, 
 	}
 	n := core.NewNetwork(2*core.Mbps, 500*time.Millisecond,
 		core.Path{Name: "a", Bandwidth: 10 * core.Mbps, Delay: 100 * time.Millisecond, Loss: 0.2})
-	sol, err := core.SolveQuality(n)
+	solver := borrowSolver()
+	sol, err := solver.SolveQuality(n)
+	returnSolver(solver)
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,24 @@ func ScalabilityCSV(points []ScalPoint) string {
 	return b.String()
 }
 
+// ResolveCSV renders the incremental re-solve drift sweep as CSV (times
+// in microseconds).
+func ResolveCSV(points []ResolvePoint) string {
+	var b strings.Builder
+	b.WriteString("step,dispatch,warm_solve_us,cold_solve_us,speedup,phase1_skipped,pool_hits,cg_iterations,quality_gap\n")
+	for _, p := range points {
+		speedup := 0.0
+		if p.WarmSolve > 0 {
+			speedup = float64(p.ColdSolve) / float64(p.WarmSolve)
+		}
+		fmt.Fprintf(&b, "%d,%s,%.3f,%.3f,%.2f,%t,%d,%d,%.3e\n",
+			p.Step, p.Dispatch,
+			float64(p.WarmSolve.Nanoseconds())/1e3, float64(p.ColdSolve.Nanoseconds())/1e3,
+			speedup, p.PhaseISkipped, p.PoolHits, p.CGIterations, p.QualityGap)
+	}
+	return b.String()
+}
+
 // Table4CSV renders Table IV rows as CSV with exact fractions.
 func Table4CSV(rows []Table4Row) string {
 	var b strings.Builder

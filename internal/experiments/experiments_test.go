@@ -286,3 +286,34 @@ func TestRenderTableAlignment(t *testing.T) {
 		t.Errorf("separator misaligned:\n%s", s)
 	}
 }
+
+// TestResolveSweepAgreesAndWarms runs a small drift trajectory through
+// the incremental re-solve sweep: every step must agree with the cold
+// solve to 1e-6 and the warm path must actually engage (CG dispatch with
+// pool hits after the prime).
+func TestResolveSweepAgreesAndWarms(t *testing.T) {
+	pts, err := ResolveSweep(ResolveConfig{Paths: 12, Transmissions: 4, Steps: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.QualityGap > 1e-6 {
+			t.Errorf("step %d: quality gap %v exceeds 1e-6", p.Step, p.QualityGap)
+		}
+		if p.Dispatch != "cg" {
+			t.Errorf("step %d: dispatch %v, want cg at 12 paths × 4 transmissions", p.Step, p.Dispatch)
+		}
+		if p.PoolHits == 0 {
+			t.Errorf("step %d: warm solve reported no pool hits", p.Step)
+		}
+		if p.WarmSolve <= 0 || p.ColdSolve <= 0 {
+			t.Errorf("step %d: unmeasured solve times %v / %v", p.Step, p.WarmSolve, p.ColdSolve)
+		}
+	}
+	if csv := ResolveCSV(pts); len(csv) == 0 {
+		t.Error("empty CSV")
+	}
+}

@@ -152,13 +152,14 @@ func SolverAblation(maxPaths, runs int, seed uint64) ([]SolverAblationRow, error
 		runs = 10
 	}
 	var out []SolverAblationRow
+	solver := core.NewSolver()
 	for n := 2; n <= maxPaths; n++ {
 		rng := rand.New(rand.NewPCG(seed, uint64(n)))
 		row := SolverAblationRow{Paths: n}
 		for run := 0; run < runs; run++ {
 			net := RandomNetwork(rng, n, 2)
 			start := time.Now()
-			fsol, err := core.SolveQuality(net)
+			fsol, err := solver.SolveQuality(net)
 			if err != nil {
 				return nil, err
 			}

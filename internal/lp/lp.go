@@ -196,6 +196,17 @@ type Solution struct {
 	Dual []float64
 	// Iterations counts simplex pivots across both phases.
 	Iterations int
+	// Basis is the optimal basis, captured when Options.CaptureBasis or
+	// Options.WarmBasis was set (nil otherwise, and on non-Optimal
+	// results). Pass it as Options.WarmBasis to warm-start a later solve
+	// of a structurally identical problem with drifted coefficients.
+	Basis *Basis
+	// WarmStarted reports that the solve re-installed Options.WarmBasis
+	// (either outright feasible, or repaired by a short Phase I).
+	WarmStarted bool
+	// PhaseISkipped reports the re-installed basis was primal feasible
+	// for the perturbed coefficients, so Phase I was skipped entirely.
+	PhaseISkipped bool
 }
 
 // Value returns the objective value of x under the problem's objective,

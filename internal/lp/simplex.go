@@ -24,6 +24,20 @@ type Options struct {
 	// guarantee well-formedness; a malformed problem then produces
 	// undefined results instead of an error.
 	AssumeValid bool
+	// WarmBasis, when non-nil, warm-starts the solve from a prior
+	// optimal basis (Solution.Basis of an earlier solve of a
+	// structurally identical problem). If the basis re-installs as a
+	// basic feasible solution for the new coefficients, Phase I is
+	// skipped entirely and Phase II starts at (usually) a near-optimal
+	// vertex; a basis that no longer factorizes or is primal infeasible
+	// falls back to the cold two-phase path automatically. The result is
+	// identical to a cold solve either way (Solution.WarmStarted reports
+	// which path ran). Setting WarmBasis implies CaptureBasis.
+	WarmBasis *Basis
+	// CaptureBasis snapshots the optimal basis onto Solution.Basis for
+	// reuse as a later WarmBasis. Off by default: one-shot solves then
+	// skip the (small) snapshot allocations on the hot path.
+	CaptureBasis bool
 }
 
 // DefaultOptions returns the defaults applied for zero Options fields.
@@ -78,12 +92,13 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 type Solver struct {
 	opts Options
 
-	m, n   int // constraint rows (kept), structural variables
-	nSlack int
-	nArt   int
-	total  int // columns: n + nSlack + nArt
-	artCol int // first artificial column
-	sign   float64
+	m, n    int // constraint rows (kept), structural variables
+	nSlack  int
+	nArt    int
+	nRepair int // warm-start repair columns (0 on cold solves)
+	total   int // columns: n + nSlack + nArt + nRepair
+	artCol  int // first artificial column (repair columns live past nArt)
+	sign    float64
 
 	a     []float64 // m × total, flat row-major
 	b     []float64 // RHS, kept ≥ 0
@@ -96,6 +111,8 @@ type Solver struct {
 	obj  []float64 // phase-2 objective over all columns (maximization form)
 	z    []float64 // reduced-cost row workspace
 	work []float64 // phase-1 objective / scratch reduced-cost row
+
+	rowTaken []bool // warm-start refactorization scratch
 
 	iters      int
 	degenerate int // consecutive degenerate pivots
@@ -124,8 +141,42 @@ func (s *Solver) SolveWith(p *Problem, opts Options) (*Solution, error) {
 		}
 	}
 	s.load(p, opts)
-	return s.run(p)
+	if opts.WarmBasis != nil && s.basisCompatible(opts.WarmBasis) {
+		var sol *Solution
+		switch s.installBasis(opts.WarmBasis) {
+		case installFeasible:
+			sol, _ = s.run(p, warmFeasible)
+		case installRepaired:
+			sol, _ = s.run(p, warmRepaired)
+		case installFailed:
+			sol = nil
+		}
+		if sol != nil && sol.Status == Optimal {
+			return sol, nil
+		}
+		// A warm start must never change the outcome: a non-Optimal
+		// status — or an error such as the iteration limit — off a
+		// re-installed basis is either a genuine property of the problem
+		// (the cold path will reproduce it) or numerical corruption from
+		// a marginal refactorization. Either way — including a failed
+		// install, which leaves the tableau dirty — rebuild and solve
+		// cold. A reload is one O(rows·cols) copy pass, far cheaper than
+		// the Phase I it precedes.
+		s.load(p, opts)
+	}
+	return s.run(p, coldStart)
 }
+
+// start describes how run begins: cold (all-slack basis, full Phase I),
+// warm with a feasible re-installed basis (Phase I skipped), or warm
+// with a repaired basis (short Phase I from the near-feasible point).
+type start int
+
+const (
+	coldStart start = iota
+	warmFeasible
+	warmRepaired
+)
 
 // load normalizes the problem into the solver's flat tableau: vacuous
 // rows (≤ +Inf) dropped, negative RHS sign-flipped so b ≥ 0, rows
@@ -159,7 +210,18 @@ func (s *Solver) load(p *Problem, opts Options) {
 	}
 
 	s.m, s.n, s.nSlack, s.nArt = m, n, nSlack, nArt
-	s.total = n + nSlack + nArt
+	// A warm-start attempt reserves one repair column per row: when the
+	// re-installed basis is primal infeasible, violated rows are flipped
+	// onto these artificial-like columns and a short Phase I repairs the
+	// basis instead of restarting from the all-slack basis. They sit past
+	// the regular artificials, so the existing Phase I objective,
+	// drive-out, and Phase II entering-column exclusion cover them with
+	// no further changes.
+	s.nRepair = 0
+	if opts.WarmBasis != nil {
+		s.nRepair = m
+	}
+	s.total = n + nSlack + nArt + s.nRepair
 	s.artCol = n + nSlack
 	s.opts = opts.withDefaults(m, n)
 	s.iters, s.degenerate = 0, 0
@@ -248,11 +310,21 @@ func (s *Solver) load(p *Problem, opts Options) {
 	}
 }
 
-// run executes both phases and extracts the solution.
-func (s *Solver) run(p *Problem) (*Solution, error) {
+// run executes both phases and extracts the solution. A warmFeasible
+// start skips Phase I (the re-installed basis is already a BFS); a
+// warmRepaired start runs Phase I, but from the repaired basis — a few
+// pivots to clear the violated rows instead of a cold restart.
+func (s *Solver) run(p *Problem, from start) (*Solution, error) {
 	tol := s.opts.Tol
 
-	if s.nArt > 0 {
+	runPhase1 := s.nArt > 0
+	switch from {
+	case warmFeasible:
+		runPhase1 = false
+	case warmRepaired:
+		runPhase1 = true
+	}
+	if runPhase1 {
 		// Phase 1: maximize -(sum of artificials).
 		phase1 := s.work
 		clear(phase1)
@@ -300,12 +372,19 @@ func (s *Solver) run(p *Problem) (*Solution, error) {
 		}
 	}
 
+	var basis *Basis
+	if s.opts.CaptureBasis || s.opts.WarmBasis != nil {
+		basis = s.captureBasis()
+	}
 	return &Solution{
-		Status:     Optimal,
-		X:          x,
-		Objective:  p.Value(x),
-		Dual:       s.extractDuals(p),
-		Iterations: s.iters,
+		Status:        Optimal,
+		X:             x,
+		Objective:     p.Value(x),
+		Dual:          s.extractDuals(p),
+		Iterations:    s.iters,
+		Basis:         basis,
+		WarmStarted:   from != coldStart,
+		PhaseISkipped: from == warmFeasible,
 	}, nil
 }
 

@@ -96,7 +96,7 @@ func parseBench(r io.Reader) (map[string]entry, []string, error) {
 
 // defaultCritical matches the solve-core benchmarks: regressions here
 // fail the run, regressions in sweeps/simulations only warn.
-const defaultCritical = `^Benchmark(Figure1Scenario|Figure4Solve|ScalabilitySolve|SolveMany|LPLargeAspect|SolverAblation)`
+const defaultCritical = `^Benchmark(Figure1Scenario|Figure4Solve|ScalabilitySolve|WarmResolve|SolveMany|LPLargeAspect|SolverAblation)`
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON snapshot to compare against")
