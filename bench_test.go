@@ -245,6 +245,107 @@ func BenchmarkWarmResolve(b *testing.B) {
 	}
 }
 
+// BenchmarkMinCostCG measures the §VI-A min-cost solve at the ROADMAP's
+// CG-scale target (40 paths × 4 transmissions, 2.8M combinations —
+// beyond the old dense-only cap): the two-stage column generation with
+// incremental simplex appends, on a reusable solver. Gated critical in
+// scripts/benchcmp.
+func BenchmarkMinCostCG(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 4010))
+	n := experiments.RandomNetwork(rng, 40, 4)
+	solver := core.NewSolver()
+	qsol, err := solver.SolveQuality(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	floor := qsol.Quality * 0.9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := solver.SolveMinCost(n, floor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Stats.Dispatch != core.DispatchCG {
+			b.Fatalf("dispatch %v", sol.Stats.Dispatch)
+		}
+	}
+}
+
+// BenchmarkRandomCG measures the §VI-B random-delay solve at a path
+// count whose pair space exceeds the dense threshold (120 paths, 14641
+// pairs): per-pair Eq. 27–30 tabulation plus exact-scan column
+// generation.
+func BenchmarkRandomCG(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 1202))
+	n := experiments.RandomNetwork(rng, 120, 2)
+	to, err := core.DeterministicTimeouts(n, 50*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := core.NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := solver.SolveQualityRandom(n, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Stats.Dispatch != core.DispatchCG {
+			b.Fatalf("dispatch %v", sol.Stats.Dispatch)
+		}
+	}
+}
+
+// solveManyFleet builds a 64-network fleet plus a ring of per-round
+// drifted copies — the fleet-wide §VIII-A re-solve storm.
+func solveManyFleet(paths, trans, size, rounds int) [][]*dmc.Network {
+	rng := rand.New(rand.NewPCG(11, uint64(paths*100+trans)))
+	out := make([][]*dmc.Network, rounds)
+	out[0] = make([]*dmc.Network, size)
+	for i := range out[0] {
+		out[0][i] = experiments.RandomNetwork(rng, paths, trans)
+	}
+	for r := 1; r < rounds; r++ {
+		out[r] = make([]*dmc.Network, size)
+		for i, n := range out[r-1] {
+			out[r][i] = experiments.DriftNetwork(rng, n, 0.1)
+		}
+	}
+	return out
+}
+
+// BenchmarkSolveManyWarm measures fleet-scale batch re-solves of 64
+// drifting 20-path × 4-transmission networks (194k-combination CG
+// dispatch each): the shared warm pool (one pooled warm solver per
+// network shape, reused across batches) against per-worker cold solves
+// of the identical fleets. The warm/cold per-op ratio is the PR's
+// fleet-re-solve artifact; ≥5× is the acceptance bar.
+func BenchmarkSolveManyWarm(b *testing.B) {
+	fleets := solveManyFleet(20, 4, 64, 8)
+	b.Run("warm", func(b *testing.B) {
+		pool := dmc.NewWarmPool()
+		if _, err := pool.SolveMany(fleets[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.SolveMany(fleets[i%len(fleets)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dmc.SolveMany(fleets[i%len(fleets)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAdaptorPoll runs the §VIII-A estimator poll loop: every
 // iteration feeds an observation and polls Solution. Most polls take the
 // no-drift fast path (which must not allocate — EstimatedNetwork reuses

@@ -38,6 +38,7 @@ func run(args []string) error {
 		fig3     = fs.Bool("fig3", false, "Figure 3: sensitivity to estimation errors")
 		fig4     = fs.Bool("fig4", false, "Figure 4: LP solve times vs problem size")
 		scale    = fs.Bool("scalability", false, "scalability sweep: pruning/column-generation dispatch, paths 10–40, m 3–5")
+		mincost  = fs.Bool("mincost", false, "min-cost scalability sweep: §VI-A cost minimization at a 0.5 quality floor through the same dense/pruned/CG dispatch, paths 10–40, m 3–5")
 		resolve  = fs.Bool("resolve", false, "incremental re-solve drift sweep: warm vs cold solve times on a 40-path × 4-transmission trajectory")
 		ablation = fs.Bool("ablation", false, "scheduler / solver / ack-scheme ablations")
 		messages = fs.Int("messages", experiments.FullMessageCount, "messages per simulation run")
@@ -49,9 +50,9 @@ func run(args []string) error {
 		return err
 	}
 	if *all {
-		*table4, *fig2, *exp2, *fig3, *fig4, *scale, *resolve, *ablation = true, true, true, true, true, true, true, true
+		*table4, *fig2, *exp2, *fig3, *fig4, *scale, *mincost, *resolve, *ablation = true, true, true, true, true, true, true, true, true
 	}
-	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*scale && !*resolve && !*ablation {
+	if !*table4 && !*fig2 && !*exp2 && !*fig3 && !*fig4 && !*scale && !*mincost && !*resolve && !*ablation {
 		fs.Usage()
 		return fmt.Errorf("select experiments (or -all)")
 	}
@@ -166,6 +167,19 @@ func run(args []string) error {
 		}
 		fmt.Print(experiments.RenderScalability(pts))
 		if err := writeCSV("scalability.csv", experiments.ScalabilityCSV(pts)); err != nil {
+			return err
+		}
+		done()
+	}
+
+	if *mincost {
+		done := section("Min-cost scalability: §VI-A dispatch at a 0.5 quality floor, beyond the old dense-only cap")
+		pts, err := experiments.Scalability(experiments.ScalabilityConfig{Seed: *seed, VerifyDense: true, MinCost: true})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScalability(pts))
+		if err := writeCSV("scalability_mincost.csv", experiments.ScalabilityCSV(pts)); err != nil {
 			return err
 		}
 		done()

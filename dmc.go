@@ -22,17 +22,20 @@
 //
 // # Layers
 //
-// Solving: SolveQuality (maximize delivered-in-time fraction, Eq. 10,
-// auto-dispatching between dense enumeration, dominance pruning, and
-// column generation by problem size), SolveQualityCG (the
-// column-generation core, for combination spaces dense enumeration
-// cannot materialize), Solver.Resolve (incremental warm re-solve for
-// drifting estimates: column tables rebuilt in place, CG pool retained
-// and repriced, LP basis reused), SolveMinCost (§VI-A),
+// Solving: SolveQuality (maximize delivered-in-time fraction, Eq. 10),
+// SolveMinCost (§VI-A cost minimization under a quality floor), and
 // SolveQualityRandom + OptimalTimeouts (§VI-B random delays, Eq. 26–34,
-// with NewTimeoutCache memoizing tables across λ/µ/loss drift),
-// SolveQualityExact (exact rational arithmetic, as the paper's CGAL
-// setup).
+// with NewTimeoutCache memoizing tables across λ/µ/loss drift) all
+// auto-dispatch between dense enumeration, dominance pruning, and
+// column generation by problem size (SolveQualityCG, SolveMinCostCG,
+// SolveQualityRandomCG are the CG cores, for combination spaces dense
+// enumeration cannot materialize). Solver.Resolve, Solver.ResolveMinCost,
+// and Solver.ResolveQualityRandom re-solve incrementally for drifting
+// estimates: column tables rebuilt in place, CG pool retained and
+// repriced, LP basis reused with newly priced columns appended onto the
+// hot tableau; NewWarmPool shares that warm state across SolveMany
+// workers for fleet-wide re-solve storms. SolveQualityExact solves with
+// exact rational arithmetic, as the paper's CGAL setup.
 //
 // Scheduling: NewDeficit implements the paper's Algorithm 1, mapping the
 // solved split to per-packet decisions.
@@ -51,6 +54,7 @@
 package dmc
 
 import (
+	"math/big"
 	"time"
 
 	"dmc/internal/core"
@@ -103,6 +107,11 @@ type (
 	// re-solves under λ/µ/loss drift reuse the table for free. Safe for
 	// concurrent use.
 	TimeoutCache = core.TimeoutCache
+	// WarmPool shares incremental re-solve state (column tables, CG
+	// pools, LP bases) across SolveMany workers: a striped, shape-keyed
+	// pool of warm Solvers for fleet-wide re-solve storms. Safe for
+	// concurrent use; see NewWarmPool.
+	WarmPool = core.WarmPool
 	// SolveStats records which solve core ran (dense enumeration,
 	// dominance-pruned dense, or column generation) and what it cost.
 	SolveStats = core.SolveStats
@@ -248,20 +257,58 @@ func NewTimeoutCache() *TimeoutCache { return core.NewTimeoutCache() }
 // nil. Safe for concurrent use.
 func SolveMany(nets []*Network) ([]*Solution, error) { return core.SolveMany(nets) }
 
-// SolveMinCost minimizes cost subject to a quality floor (§VI-A).
+// NewWarmPool returns an empty shared warm-solver pool. Its SolveMany
+// method is the incremental counterpart of the package-level SolveMany:
+// each worker re-solves on a pooled Solver whose warm state (column
+// tables, CG pool, LP basis) was primed by earlier batches of the same
+// network shapes — the fleet-wide analogue of Solver.Resolve, with the
+// same result-invalidation contract (a batch's Solutions are valid
+// until the next SolveMany on the same pool).
+func NewWarmPool() *WarmPool { return core.NewWarmPool() }
+
+// SolveMinCost minimizes cost subject to a quality floor (§VI-A),
+// auto-dispatching between dense enumeration, dominance pruning, and
+// column generation by problem size.
 func SolveMinCost(n *Network, minQuality float64) (*Solution, error) {
 	return core.SolveMinCost(n, minQuality)
 }
 
+// SolveMinCostCG solves the §VI-A cost minimization by column
+// generation: a feasibility stage grows the column pool until the
+// quality floor is provably reachable (or certifies ErrInfeasible at
+// the true quality optimum), then cost-reduced pricing runs to the
+// certified minimum. Most callers want SolveMinCost, which dispatches
+// here automatically for large instances.
+func SolveMinCostCG(n *Network, minQuality float64) (*Solution, error) {
+	return core.SolveMinCostCG(n, minQuality)
+}
+
 // SolveQualityRandom solves the random-delay model (§VI-B) with the given
-// retransmission timeouts.
+// retransmission timeouts, auto-dispatching between dense enumeration
+// and column generation by pair count.
 func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
 	return core.SolveQualityRandom(n, to)
+}
+
+// SolveQualityRandomCG solves the §VI-B random-delay model by column
+// generation over the (n+1)² pair space, pricing pairs by an exact scan
+// of once-per-solve Eq. 27–30 tables. Most callers want
+// SolveQualityRandom, which dispatches here automatically for large
+// path counts.
+func SolveQualityRandomCG(n *Network, to *Timeouts) (*Solution, error) {
+	return core.SolveQualityRandomCG(n, to)
 }
 
 // SolveQualityExact solves with exact rational arithmetic.
 func SolveQualityExact(n *ExactNetwork) (*ExactSolution, error) {
 	return core.SolveQualityExact(n)
+}
+
+// SolveMinCostExact solves the §VI-A cost minimization with exact
+// rational arithmetic — the differential reference for the float
+// min-cost solve paths.
+func SolveMinCostExact(n *ExactNetwork, minQuality *big.Rat) (*ExactSolution, error) {
+	return core.SolveMinCostExact(n, minQuality)
 }
 
 // ExactFromFloat converts a float Network to an exact one.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -31,6 +32,13 @@ const (
 	cgCertTolWarm = 1e-7
 )
 
+// errMasterInfeasible marks a restricted master that admits no solution
+// over its current column pool. Unreachable for the quality objectives
+// (the all-blackhole seed keeps their masters feasible); the min-cost
+// driver interprets it as "the pool cannot reach the quality floor yet"
+// and either grows the pool or certifies ErrInfeasible.
+var errMasterInfeasible = errors.New("core: restricted master infeasible over the current column pool")
+
 // SolveQualityCG solves the quality maximization by column generation
 // with a pooled reusable Solver; see Solver.SolveQualityCG.
 func SolveQualityCG(n *Network) (*Solution, error) {
@@ -38,6 +46,35 @@ func SolveQualityCG(n *Network) (*Solution, error) {
 	sol, err := s.SolveQualityCG(n)
 	solverPool.Put(s)
 	return sol, err
+}
+
+// cgObjective abstracts the objective-specific pieces of the
+// column-generation engine — what the restricted master optimizes, how a
+// combination's LP column is evaluated, and how new columns are priced
+// from the master's duals — so one runCG loop serves quality
+// maximization (Eq. 10), §VI-A cost minimization under a quality floor,
+// and the §VI-B random-delay columns alike.
+type cgObjective interface {
+	// assembleInto builds the restricted master over the pooled columns
+	// (into the reusable arena when sc is non-nil).
+	assembleInto(sc *asmScratch, cs *colSet) *lp.Problem
+	// evalColumn computes one combination's LP column — delivery
+	// probability, expected cost, per-path send shares — into share
+	// (zeroed, length base).
+	evalColumn(combo []int, share []float64) (delivery, cost float64)
+	// reprice loads the master's dual vector (in its row order) into the
+	// pricing oracle.
+	reprice(duals []float64)
+	// price returns up to cgColumnsPerIter combinations whose pricing
+	// gain exceeds floor (reduced cost above floor for maximizations,
+	// below −floor for minimizations). The oracle is exact: an empty
+	// result certifies no combination prices beyond floor.
+	price(floor float64) [][]int
+	// seed primes an empty pool with the objective's starting columns
+	// (always including the all-blackhole column, which keeps the
+	// master feasible at every iteration). scratch is a digit buffer of
+	// length ≥ the transmission count.
+	seed(cs *colSet, scratch []int)
 }
 
 // colSet is the dynamically grown column pool of the restricted master,
@@ -52,15 +89,16 @@ func newColSet() *colSet {
 	return &colSet{pos: make(map[uint64]int)}
 }
 
-// add evaluates and appends combo's column unless it is already pooled.
-func (cs *colSet) add(m *model, combo []int) bool {
+// add evaluates combo's column under the objective and appends it,
+// unless it is already pooled.
+func (cs *colSet) add(m *model, obj cgObjective, combo []int) bool {
 	key := m.packKey(combo)
 	if _, ok := cs.pos[key]; ok {
 		return false
 	}
 	cs.pos[key] = cs.cols.len()
 	cs.keys = append(cs.keys, key)
-	cs.cols.appendColumn(m, combo)
+	cs.cols.appendColumn(m.base, obj.evalColumn, combo)
 	return true
 }
 
@@ -68,14 +106,52 @@ func (cs *colSet) add(m *model, combo []int) bool {
 // model of the same shape (path count and transmissions unchanged, so
 // the packed keys stay valid). This is the warm-resolve pool hit: the
 // expensive part of a pooled column — discovering it via the pricing
-// oracle — is reused; only the cheap columnOf pass repeats.
-func (cs *colSet) reevaluate(m *model) {
+// oracle — is reused; only the cheap evalColumn pass repeats.
+func (cs *colSet) reevaluate(m *model, obj cgObjective) {
 	base := m.base
 	clear(cs.cols.shares)
 	for l, combo := range cs.cols.combos {
-		cs.cols.delivery[l], cs.cols.costs[l] = m.columnOf(combo, cs.cols.shares[l*base:(l+1)*base])
+		cs.cols.delivery[l], cs.cols.costs[l] = obj.evalColumn(combo, cs.cols.shares[l*base:(l+1)*base])
 	}
 }
+
+// qualityObjective is the Eq. 10 deterministic-delay quality
+// maximization: the master maximizes delivery over bandwidth rows, the
+// cost row when the budget is finite and costRow is set, and the
+// conservation row; pricing runs the branch-and-bound oracle.
+type qualityObjective struct {
+	m  *model
+	pr *pricer
+	// costRow includes the Eq. 16 budget row when the network's bound is
+	// finite. The min-cost driver's feasibility stage turns it off: the
+	// §VI-A formulation replaces the budget µ with the quality floor.
+	costRow bool
+}
+
+func (o *qualityObjective) assembleInto(sc *asmScratch, cs *colSet) *lp.Problem {
+	return o.m.assembleProblemInto(sc, lp.Maximize, cs.cols.delivery, &cs.cols, nil, o.costRow)
+}
+
+func (o *qualityObjective) evalColumn(combo []int, share []float64) (float64, float64) {
+	return o.m.columnOf(combo, share)
+}
+
+// reprice unpacks the master duals. Dual layout follows
+// assembleProblem's row order: one bandwidth row per real path, the
+// cost row when present, the conservation row last.
+func (o *qualityObjective) reprice(duals []float64) {
+	yCost := 0.0
+	next := o.m.base - 1
+	if o.costRow && !math.IsInf(o.m.net.CostBound, 1) {
+		yCost = duals[next]
+		next++
+	}
+	o.pr.repriceQuality(duals[:o.m.base-1], yCost, duals[next])
+}
+
+func (o *qualityObjective) price(floor float64) [][]int { return o.pr.price(floor) }
+
+func (o *qualityObjective) seed(cs *colSet, scratch []int) { o.m.seedColumns(cs, o, scratch) }
 
 // SolveQualityCG solves the deterministic-delay quality maximization
 // (Eq. 10) without materializing the (n+1)^m combination space: a
@@ -95,9 +171,10 @@ func (s *Solver) SolveQualityCG(n *Network) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	obj := &qualityObjective{m: m, pr: newPricer(m), costRow: true}
 	cs := newColSet()
-	m.seedColumns(cs, s.scratch(m.m))
-	prob, lpSol, iters, _, err := s.runCG(nil, m, cs, newPricer(m), nil, cgPriceTol, cgPriceTol)
+	obj.seed(cs, s.scratch(m.m))
+	prob, lpSol, iters, _, err := s.runCG(nil, m, cs, obj, nil, cgPriceTol, cgPriceTol, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -112,39 +189,66 @@ func (s *Solver) SolveQualityCG(n *Network) (*Solution, error) {
 // solution plus the iteration count and whether the first master solve
 // warm-started. Intermediate rounds price with priceFloor ≥ certTol —
 // when a round at the aggressive floor comes back empty, one
-// certification round at certTol settles termination. basis, when
-// non-nil, warm-starts the first master and chains each later iteration
-// off its predecessor's optimal basis (remapped across the appended
-// columns) — the incremental re-solve path. The cold path passes nil
-// and equal floors, keeping its per-iteration cold solves: early
-// masters are tiny and reshape fast, where a warm basis buys nothing.
-func (s *Solver) runCG(sc *asmScratch, m *model, cs *colSet, pr *pricer, basis *lp.Basis, priceFloor, certTol float64) (*lp.Problem, *lp.Solution, int, bool, error) {
-	hasCost := !math.IsInf(m.net.CostBound, 1)
+// certification round at certTol settles termination.
+//
+// The first master solves through SolveWith — warm-started from basis
+// when non-nil (the incremental re-solve path). Every later iteration
+// appends the freshly priced columns onto the still-hot simplex tableau
+// (lp.Solver.AppendSolve): the basis stays factorized in place and only
+// the new columns are transformed in, instead of reloading the problem
+// and re-installing the basis pivot by pivot. Any append failure falls
+// back to a full solve of that master (warm when a basis chain is
+// available), preserving the guarantee that the incremental path never
+// changes the result.
+//
+// stop, when non-nil, is checked after every master solve and ends the
+// loop early without certification — the min-cost feasibility stage
+// uses it to grow the pool just until the quality floor is reachable.
+//
+// A master that comes back infeasible returns errMasterInfeasible
+// (possible only for the min-cost objective's first master).
+func (s *Solver) runCG(sc *asmScratch, m *model, cs *colSet, obj cgObjective, basis *lp.Basis, priceFloor, certTol float64, stop func(*lp.Solution) bool) (*lp.Problem, *lp.Solution, int, bool, error) {
 	chain := basis != nil
 	// The persistent-resolve paths (marked by their assembly scratch)
 	// need the final basis captured to warm-start the next re-solve;
-	// the one-shot CG path skips the snapshot.
+	// the one-shot CG path needs it only for the append-failure
+	// fallback, which re-covers via a plain cold solve.
 	capture := sc != nil
 
 	var prob *lp.Problem
 	var lpSol *lp.Solution
 	var err error
 	iters, firstWarm := 0, false
+	prevN := -1
+	refreshed := false
 	for {
 		iters++
 		if iters > cgMaxIterations {
 			return nil, nil, 0, false, fmt.Errorf("core: column generation did not converge within %d iterations", cgMaxIterations)
 		}
-		prob = m.assembleProblemInto(sc, lp.Maximize, cs.cols.delivery, &cs.cols, nil, true)
-		opts := lp.Options{AssumeValid: true, CaptureBasis: capture}
-		if basis != nil {
-			opts.WarmBasis = basis.Remap(cs.cols.len(), nil)
+		prob = obj.assembleInto(sc, cs)
+		n := cs.cols.len()
+		opts := lp.Options{AssumeValid: true, CaptureBasis: capture || chain}
+		solved := false
+		if prevN >= 0 && n > prevN {
+			if sol, aerr := s.lps.AppendSolve(prob, prevN, opts); aerr == nil {
+				lpSol, solved = sol, true
+			}
 		}
-		lpSol, err = s.lps.SolveWith(prob, opts)
-		if err != nil {
-			return nil, nil, 0, false, fmt.Errorf("core: solving restricted master: %w", err)
+		if !solved {
+			if basis != nil {
+				opts.WarmBasis = basis.Remap(n, nil)
+			}
+			lpSol, err = s.lps.SolveWith(prob, opts)
+			if err != nil {
+				return nil, nil, 0, false, fmt.Errorf("core: solving restricted master: %w", err)
+			}
 		}
-		if lpSol.Status != lp.Optimal {
+		switch lpSol.Status {
+		case lp.Optimal:
+		case lp.Infeasible:
+			return prob, lpSol, iters, firstWarm, errMasterInfeasible
+		default:
 			return nil, nil, 0, false, fmt.Errorf("core: restricted master unexpectedly %v", lpSol.Status)
 		}
 		if iters == 1 {
@@ -153,38 +257,47 @@ func (s *Solver) runCG(sc *asmScratch, m *model, cs *colSet, pr *pricer, basis *
 		if chain {
 			basis = lpSol.Basis
 		}
+		prevN = n
 
-		// Dual layout follows assembleProblem's row order: one bandwidth
-		// row per real path, the cost row when the budget is finite, the
-		// conservation row last.
-		duals := lpSol.Dual
-		yCost := 0.0
-		next := m.base - 1
-		if hasCost {
-			yCost = duals[next]
-			next++
+		if stop != nil && stop(lpSol) {
+			break
 		}
-		y0 := duals[next]
-		pr.reprice(lpSol.Dual[:m.base-1], yCost, y0)
 
-		added := 0
-		for _, cand := range pr.price(priceFloor) {
-			if cs.add(m, cand) {
+		obj.reprice(lpSol.Dual)
+		added, priced := 0, 0
+		for _, cand := range obj.price(priceFloor) {
+			priced++
+			if cs.add(m, obj, cand) {
 				added++
 			}
 		}
 		if added == 0 && priceFloor > certTol {
 			// Nothing above the aggressive floor: certify at the tight
 			// tolerance before declaring optimality.
-			for _, cand := range pr.price(certTol) {
-				if cs.add(m, cand) {
+			for _, cand := range obj.price(certTol) {
+				priced++
+				if cs.add(m, obj, cand) {
 					added++
 				}
 			}
 		}
 		if added == 0 {
+			// The oracle pricing POOLED columns above the floor means the
+			// master's incrementally maintained reduced costs disagree
+			// with the raw coefficients — tableau roundoff from the
+			// append chain or a long pivot path. The gap is then real
+			// (those columns should re-enter the basis), so force one
+			// refactorized master solve — a full reload from raw data —
+			// and re-price. A second stall right after the refresh is the
+			// float solver's precision limit; accept it.
+			if priced > 0 && !refreshed {
+				refreshed = true
+				prevN = -1
+				continue
+			}
 			break // oracle certifies: no combination prices above certTol
 		}
+		refreshed = false
 	}
 	return prob, lpSol, iters, firstWarm, nil
 }
@@ -195,7 +308,7 @@ func (s *Solver) runCG(sc *asmScratch, m *model, cs *colSet, pr *pricer, basis *
 // starting path that extends with the in-time path of largest marginal
 // delivery — a cheap approximation of the columns an optimal basis
 // tends to use.
-func (m *model) seedColumns(cs *colSet, scratch []int) {
+func (m *model) seedColumns(cs *colSet, obj cgObjective, scratch []int) {
 	combo := scratch[:m.m]
 	clearDigits := func(from int) {
 		for k := from; k < m.m; k++ {
@@ -204,13 +317,13 @@ func (m *model) seedColumns(cs *colSet, scratch []int) {
 	}
 
 	clearDigits(0)
-	cs.add(m, combo) // all-blackhole
+	cs.add(m, obj, combo) // all-blackhole
 
 	δ := m.net.Lifetime
 	for i := 1; i < m.base; i++ {
 		combo[0] = i
 		clearDigits(1)
-		cs.add(m, combo) // single attempt on path i
+		cs.add(m, obj, combo) // single attempt on path i
 
 		t := m.paths[i].Delay + m.dmin
 		surv := m.paths[i].Loss
@@ -237,30 +350,34 @@ func (m *model) seedColumns(cs *colSet, scratch []int) {
 			t = next
 			surv *= m.paths[best].Loss
 		}
-		cs.add(m, combo) // greedy chain from path i
+		cs.add(m, obj, combo) // greedy chain from path i
 	}
 }
 
-// pricer is the best-combination oracle: given the master duals it
-// finds the combinations maximizing reduced cost
+// pricer is the best-combination oracle for the deterministic-delay
+// objectives: given per-path gains loaded from the master duals it finds
+// the combinations maximizing the pricing gain
 //
-//	rc(l) = p_l − Σᵢ yᵢ·λ·shareₗ[i] − y_c·λ·costₗ − y₀
+//	v(l) = Σ_k surv_k · gain(i_k) − y₀′
 //
-// by depth-first search over attempt prefixes. Every attempt on real
-// path i at send time t contributes surv·g_i when in time (g_i =
-// (1−τᵢ) − λ(yᵢ + y_c·cᵢ)) and surv·(−λ(yᵢ+y_c·cᵢ)) ≤ 0 when late;
-// removing the last negative-contribution attempt from any combination
-// never lowers its value (later attempts shift earlier and their
-// survival mass grows), so some maximizer uses only in-time attempts
-// with g_i > 0 — the search expands exactly those, with a τ-discounted
-// optimistic bound pruning the rest.
+// by depth-first search over attempt prefixes. For the quality
+// maximization the gain of an in-time attempt on real path i is
+// (1−τᵢ) − λ(yᵢ + y_c·cᵢ) and v is the reduced cost; for the §VI-A
+// cost minimization it is y_q(1−τᵢ) − λ(cᵢ − yᵢ) and v is the negated
+// reduced cost (attractive columns price v > 0 either way). In both
+// cases a late attempt contributes surv·(−wᵢ) ≤ 0; removing the last
+// negative-contribution attempt from any combination never lowers its
+// value (later attempts shift earlier and their survival mass grows),
+// so some maximizer uses only in-time attempts with gain > 0 — the
+// search expands exactly those, with a τ-discounted optimistic bound
+// pruning the rest.
 type pricer struct {
 	m     *model
 	δ     time.Duration
 	dmin  time.Duration
 	trans int
 
-	gain0 []float64       // per model path: (1−τᵢ) − wᵢ
+	gain0 []float64       // per model path: α(1−τᵢ) − wᵢ
 	delay []time.Duration // per model path
 	loss  []float64
 	order []int     // real paths with gain0 > 0, best first
@@ -302,17 +419,53 @@ func (p *pricer) bind(m *model) {
 	p.dmin = m.dmin
 }
 
-// reprice loads a new dual vector: yBW has one multiplier per real path
-// (model index i at yBW[i-1]).
-func (p *pricer) reprice(yBW []float64, yCost, y0 float64) {
+// repriceQuality loads a quality-master dual vector: yBW has one
+// multiplier per real path (model index i at yBW[i-1]), yCost the cost
+// row's (0 when absent), y0 the conservation row's.
+func (p *pricer) repriceQuality(yBW []float64, yCost, y0 float64) {
 	λ := p.m.net.Rate
+	p.load(1, func(i int, path *Path) float64 {
+		return λ * (yBW[i-1] + yCost*path.Cost)
+	}, y0)
+}
+
+// repriceMinCost loads a §VI-A master dual vector. The pricing gain of
+// a column is its negated reduced cost
+//
+//	v(l) = y_q·p_l + Σᵢ λyᵢ·shareₗ[i] − λ·costₗ + y₀,
+//
+// so an in-time attempt on path i gains surv·(y_q(1−τᵢ) − λ(cᵢ−yᵢ)) and
+// a late one surv·(λyᵢ − λcᵢ) ≤ 0: the bandwidth duals yᵢ of ≤ rows are
+// ≤ 0 and the quality-floor dual y_q of the ≥ row is ≥ 0 in a
+// minimization. Both are clamped against the tiny sign violations a
+// degenerate basis can leave, which keeps the branch-and-bound argument
+// (late attempts never help) airtight at the cost of an O(tol) pricing
+// perturbation — far below the certification floor.
+func (p *pricer) repriceMinCost(yBW []float64, yQ, y0 float64) {
+	λ := p.m.net.Rate
+	if yQ < 0 {
+		yQ = 0
+	}
+	p.load(yQ, func(i int, path *Path) float64 {
+		w := λ * (path.Cost - yBW[i-1])
+		if w < 0 {
+			w = 0
+		}
+		return w
+	}, -y0)
+}
+
+// load fills the per-path pricing gains gain0[i] = α(1−τᵢ) − w(i) and
+// the constant y0 subtracted from every combination's accumulated gain,
+// then orders the positive-gain paths best first and rebuilds the
+// geometric optimistic-bound table.
+func (p *pricer) load(alpha float64, w func(int, *Path) float64, y0 float64) {
 	p.y0 = y0
 	p.order = p.order[:0]
 	τmax := 0.0
 	for i := 1; i < p.m.base; i++ {
 		path := &p.m.paths[i]
-		w := λ * (yBW[i-1] + yCost*path.Cost)
-		p.gain0[i] = (1 - path.Loss) - w
+		p.gain0[i] = alpha*(1-path.Loss) - w(i, path)
 		p.delay[i] = path.Delay
 		p.loss[i] = path.Loss
 		if p.gain0[i] > 0 {
@@ -334,7 +487,7 @@ func (p *pricer) reprice(yBW []float64, yCost, y0 float64) {
 	}
 }
 
-// price returns up to cgColumnsPerIter combinations with reduced cost
+// price returns up to cgColumnsPerIter combinations with pricing gain
 // above the floor.
 func (p *pricer) price(floor float64) [][]int {
 	p.found = p.found[:0]

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dmc/internal/lp"
+)
+
+// minCostFeasSlack is the relative slack allowed between the certified
+// maximum quality and the requested floor before declaring the floor
+// unattainable: a floor within solver tolerance of the optimum is
+// handed to the master's own Phase I rather than rejected outright,
+// matching the dense path's feasibility verdict.
+const minCostFeasSlack = 1e-9
+
+// SolveMinCostCG solves the §VI-A cost minimization by column
+// generation with a pooled reusable Solver; see Solver.SolveMinCostCG.
+func SolveMinCostCG(n *Network, minQuality float64) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveMinCostCG(n, minQuality)
+	solverPool.Put(s)
+	return sol, err
+}
+
+// minCostObjective is the §VI-A master: minimize the expected total
+// cost per second (Eq. 21) over the bandwidth rows, the quality floor
+// p·x ≥ minQuality (Eq. 22's constraint), and the conservation row. No
+// cost row: the formulation replaces the budget µ with the floor.
+type minCostObjective struct {
+	m          *model
+	pr         *pricer
+	minQuality float64
+	obj        []float64 // λ·costₗ per pooled column, rebuilt per assembly
+	extra      lp.Constraint
+}
+
+func (o *minCostObjective) assembleInto(sc *asmScratch, cs *colSet) *lp.Problem {
+	n := cs.cols.len()
+	o.obj = grow(o.obj, n)
+	λ := o.m.net.Rate
+	for l, c := range cs.cols.costs[:n] {
+		o.obj[l] = λ * c // Eq. 21: (λ·cᵢ) + (λ·τᵢ·cⱼ), generalized
+	}
+	o.extra = lp.Constraint{Name: "quality", Coeffs: cs.cols.delivery[:n:n], Rel: lp.GE, RHS: o.minQuality}
+	return o.m.assembleProblemInto(sc, lp.Minimize, o.obj, &cs.cols, &o.extra, false)
+}
+
+func (o *minCostObjective) evalColumn(combo []int, share []float64) (float64, float64) {
+	return o.m.columnOf(combo, share)
+}
+
+// reprice unpacks the min-cost master duals: bandwidth rows first, then
+// the quality floor, then the conservation row.
+func (o *minCostObjective) reprice(duals []float64) {
+	base := o.m.base
+	o.pr.repriceMinCost(duals[:base-1], duals[base-1], duals[base])
+}
+
+func (o *minCostObjective) price(floor float64) [][]int { return o.pr.price(floor) }
+
+func (o *minCostObjective) seed(cs *colSet, scratch []int) { o.m.seedColumns(cs, o, scratch) }
+
+// grow resizes a float64 workspace, reusing capacity. Contents are
+// unspecified; callers overwrite every entry they read.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// SolveMinCostCG solves the §VI-A cost minimization without
+// materializing the (n+1)^m combination space. It runs in two stages
+// over one shared column pool: a feasibility stage grows the pool with
+// quality-maximization pricing rounds just until the restricted master
+// can reach the quality floor (or certifies, at the true quality
+// optimum, that no sending strategy can — ErrInfeasible), then the
+// min-cost stage prices columns by cost-reduced duals until the master
+// cost is certified minimal. Both stages share the incremental simplex:
+// freshly priced columns are appended onto the hot tableau instead of
+// re-solving each master from scratch.
+//
+// Most callers want SolveMinCost, which dispatches here automatically
+// above the dense threshold.
+func (s *Solver) SolveMinCostCG(n *Network, minQuality float64) (*Solution, error) {
+	if math.IsNaN(minQuality) || minQuality < 0 || minQuality > 1 {
+		return nil, fmt.Errorf("core: min quality %v outside [0,1]", minQuality)
+	}
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, err
+	}
+	pr := newPricer(m)
+	mo := &minCostObjective{m: m, pr: pr, minQuality: minQuality}
+	cs := newColSet()
+	mo.seed(cs, s.scratch(m.m))
+	sol, _, err := s.solveMinCostCG(nil, m, cs, mo, nil, cgPriceTol, false)
+	return sol, err
+}
+
+// solveMinCostCG is the two-stage min-cost column-generation core
+// shared by the one-shot and incremental-resolve entry points. When
+// skipFeasStage is set (a warm re-solve whose retained pool supported
+// the floor last time), the feasibility stage is tried only if the
+// min-cost master actually comes back infeasible under the drifted
+// coefficients. Returns the solution and the final master LP solution
+// (whose duals the resolve path stashes for pool trimming).
+func (s *Solver) solveMinCostCG(sc *asmScratch, m *model, cs *colSet, mo *minCostObjective, basis *lp.Basis, certTol float64, skipFeasStage bool) (*Solution, *lp.Solution, error) {
+	feasIters := 0
+	if !skipFeasStage {
+		var err error
+		feasIters, err = s.growPoolToQualityFloor(sc, m, cs, mo, certTol)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	prob, lpSol, iters, firstWarm, err := s.runCG(sc, m, cs, mo, basis, certTol, certTol, nil)
+	if errors.Is(err, errMasterInfeasible) && skipFeasStage {
+		// The drift pushed the floor beyond the retained pool: grow it
+		// and retry once (cold master — the basis belongs to the old,
+		// now-infeasible restricted problem).
+		feasIters, err = s.growPoolToQualityFloor(sc, m, cs, mo, certTol)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob, lpSol, iters, firstWarm, err = s.runCG(sc, m, cs, mo, nil, certTol, certTol, nil)
+	}
+	if errors.Is(err, errMasterInfeasible) {
+		// The pool provably reaches the floor's neighborhood, yet the
+		// master's own Phase I rejects it: the floor sits right at the
+		// feasibility boundary. Side with the authoritative Phase I.
+		return nil, nil, fmt.Errorf("core: quality %v unattainable on this network: %w", mo.minQuality, ErrInfeasible)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, 0, cs.pos)
+	sol.Stats = SolveStats{
+		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: feasIters + iters,
+		PhaseISkipped: firstWarm,
+	}
+	// The LP objective is cost; recompute the achieved quality from the
+	// solution, exactly as the dense path does.
+	var q float64
+	for l, x := range lpSol.X {
+		q += x * cs.cols.delivery[l]
+	}
+	sol.Quality = clamp01(q)
+	return sol, lpSol, nil
+}
+
+// growPoolToQualityFloor runs quality-maximization pricing rounds until
+// the restricted master can reach the §VI-A quality floor, stopping the
+// moment the master's optimal quality clears it (no certification
+// needed — the pool is then provably sufficient). If the rounds instead
+// certify the true quality optimum below the floor, no strategy over
+// the full combination space can meet it: ErrInfeasible. Returns the
+// master-solve count.
+func (s *Solver) growPoolToQualityFloor(sc *asmScratch, m *model, cs *colSet, mo *minCostObjective, certTol float64) (int, error) {
+	minQ := mo.minQuality
+	qo := &qualityObjective{m: m, pr: mo.pr, costRow: false}
+	stop := func(sol *lp.Solution) bool { return sol.Objective >= minQ }
+	_, qSol, iters, _, err := s.runCG(sc, m, cs, qo, nil, certTol, certTol, stop)
+	if err != nil {
+		return iters, fmt.Errorf("core: min-cost feasibility stage: %w", err)
+	}
+	if qSol.Objective < minQ-minCostFeasSlack*(1+minQ) {
+		return iters, fmt.Errorf("core: quality %v unattainable on this network (maximum %v): %w",
+			minQ, clamp01(qSol.Objective), ErrInfeasible)
+	}
+	return iters, nil
+}

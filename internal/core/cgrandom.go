@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dmc/internal/dist"
+	"dmc/internal/lp"
+)
+
+// SolveQualityRandomCG solves the §VI-B random-delay model by column
+// generation with a pooled reusable Solver; see
+// Solver.SolveQualityRandomCG.
+func SolveQualityRandomCG(n *Network, to *Timeouts) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveQualityRandomCG(n, to)
+	solverPool.Put(s)
+	return sol, err
+}
+
+// randomObjective is the §VI-B random-delay quality maximization over
+// m = 2 columns. The Eqs. 27–30 coefficients of a pair (i, j) depend on
+// the delay distributions and the timeout table but not on the duals,
+// so they are tabulated once per solve — P(retransᵢⱼ) and the
+// retransmission's in-time delivery per ordered real pair — and both
+// column evaluation and pricing read the tables in O(1) per pair. The
+// pricing oracle is a plain exact scan of the (n+1)² pair space: no
+// branch-and-bound is needed at m = 2, and the scan materializes
+// nothing, which is the point — the dense path's nVars×base share
+// matrix is what stops fitting past the cap.
+type randomObjective struct {
+	m *model
+
+	// Per real path i (model index, 1-based): delivery of an in-time
+	// first attempt, and the drop-leg retransmission probability
+	// 1 − P(dᵢ+d_min ≤ δ)(1−τᵢ) used for blackhole and undefined-timeout
+	// retransmissions.
+	firstDeliver []float64
+	pDrop        []float64
+	// Per ordered real pair (i, j) at (i-1)*(base-1)+(j-1): the Eq. 27
+	// retransmission probability and the Eq. 28 second-leg delivery
+	// P(t+dⱼ ≤ δ)(1−τⱼ); undefined timeouts hold pDrop[i] and 0.
+	pRetr    []float64
+	pDeliver []float64
+
+	// Current duals (loaded by reprice).
+	yBW   []float64
+	yCost float64
+	y0    float64
+
+	found []pricedCombo
+}
+
+// newRandomObjective tabulates the Eqs. 27–30 pair coefficients,
+// reusing prev's storage when the shape matches (the warm-resolve
+// path; the tables are still re-evaluated — delays and timeouts may
+// have drifted).
+func newRandomObjective(m *model, to *Timeouts, prev *randomObjective) *randomObjective {
+	o := prev
+	if o == nil {
+		o = &randomObjective{}
+	}
+	o.m = m
+	n := m.net
+	δ := n.Lifetime
+	real := m.base - 1
+	o.firstDeliver = grow(o.firstDeliver, m.base)
+	o.pDrop = grow(o.pDrop, m.base)
+	o.pRetr = grow(o.pRetr, real*real)
+	o.pDeliver = grow(o.pDeliver, real*real)
+
+	ack := n.Paths[n.AckPathIndex()].delayDist()
+	for i := 1; i < m.base; i++ {
+		pi := n.Paths[i-1]
+		di := pi.delayDist()
+		o.firstDeliver[i] = di.CDF(δ) * (1 - pi.Loss)
+		// rtt is the distribution of dᵢ + d_min (1-based model index i
+		// corresponds to Paths[i-1]).
+		rtt := dist.NewSum(di, ack)
+		o.pDrop[i] = 1 - rtt.CDF(δ)*(1-pi.Loss)
+		// One-entry memo: under common timeout tables (deterministic
+		// t = dᵢ + d_min + margin) every j shares path i's timeout, so
+		// the convolution CDF — the expensive probe — evaluates once per
+		// row instead of once per pair.
+		lastT, lastCDF := time.Duration(-1), 0.0
+		for j := 1; j < m.base; j++ {
+			pj := n.Paths[j-1]
+			at := (i-1)*real + (j - 1)
+			if t, ok := to.Get(i-1, j-1); ok {
+				if t != lastT {
+					lastT, lastCDF = t, rtt.CDF(t)
+				}
+				o.pRetr[at] = 1 - lastCDF*(1-pi.Loss)
+				o.pDeliver[at] = pj.delayDist().CDF(δ-t) * (1 - pj.Loss)
+			} else {
+				// No timeout makes the retransmission useful; a sender
+				// assigned this combination would wait until the
+				// deadline and the retransmission never delivers in
+				// time. The column is dominated by (i, blackhole).
+				o.pRetr[at] = o.pDrop[i]
+				o.pDeliver[at] = 0
+			}
+		}
+	}
+	return o
+}
+
+// evalColumn reproduces randomColumns' per-pair arithmetic from the
+// tables, so CG columns agree bit-for-bit with the dense enumeration.
+func (o *randomObjective) evalColumn(combo []int, share []float64) (float64, float64) {
+	i, j := combo[0], combo[1]
+	if o.m.isBlackhole(i) {
+		// Dropped on arrival at the sender: nothing delivered, nothing
+		// retransmitted, no cost.
+		share[0] = 1
+		return 0, 0
+	}
+	pi := &o.m.paths[i]
+	delivery := o.firstDeliver[i]
+	share[i] += 1
+	cost := pi.Cost
+	if o.m.isBlackhole(j) {
+		// Drop after first failure; charge the blackhole nominally.
+		share[0] += o.pDrop[i]
+		return clamp01(delivery), cost
+	}
+	at := (i-1)*(o.m.base-1) + (j - 1)
+	pR := o.pRetr[at]
+	share[j] += pR
+	cost += pR * o.m.paths[j].Cost
+	return clamp01(delivery + pR*o.pDeliver[at]), cost
+}
+
+func (o *randomObjective) assembleInto(sc *asmScratch, cs *colSet) *lp.Problem {
+	return o.m.assembleProblemInto(sc, lp.Maximize, cs.cols.delivery, &cs.cols, nil, true)
+}
+
+// reprice stores the master duals (bandwidth rows, the cost row when
+// the budget is finite, the conservation row).
+func (o *randomObjective) reprice(duals []float64) {
+	o.yBW = duals[:o.m.base-1]
+	next := o.m.base - 1
+	o.yCost = 0
+	if !math.IsInf(o.m.net.CostBound, 1) {
+		o.yCost = duals[next]
+		next++
+	}
+	o.y0 = duals[next]
+}
+
+// price scans every pair exactly. rc(i,j) decomposes into a first-leg
+// term aᵢ = firstDeliverᵢ − λ(yᵢ + y_c·cᵢ) − y₀ plus, for a real
+// retransmission leg, pRᵢⱼ·(pDᵢⱼ − λ(yⱼ + y_c·cⱼ)); blackhole shares
+// never enter a constraint row.
+func (o *randomObjective) price(floor float64) [][]int {
+	o.found = o.found[:0]
+	λ := o.m.net.Rate
+	base := o.m.base
+	real := base - 1
+	flo := floor
+
+	record := func(i, j int, rc float64) {
+		if len(o.found) < cgColumnsPerIter {
+			c := []int{i, j}
+			o.found = append(o.found, pricedCombo{c, rc})
+		} else {
+			worstAt, worst := 0, o.found[0].rc
+			for k, f := range o.found[1:] {
+				if f.rc < worst {
+					worstAt, worst = k+1, f.rc
+				}
+			}
+			o.found[worstAt].combo[0], o.found[worstAt].combo[1] = i, j
+			o.found[worstAt].rc = rc
+		}
+		if len(o.found) == cgColumnsPerIter {
+			flo = o.found[0].rc
+			for _, f := range o.found[1:] {
+				if f.rc < flo {
+					flo = f.rc
+				}
+			}
+		}
+	}
+
+	// All blackhole-first pairs are the identical empty column; only
+	// (0,0) is ever considered.
+	if rc := -o.y0; rc > flo {
+		record(0, 0, rc)
+	}
+	// price per real path: w_i = λ(yᵢ + y_c·cᵢ). The delivery sum is
+	// priced exactly as evalColumn computes it — including the Eq. 28
+	// clamp at 1 — or clamped pairs would carry inflated reduced costs,
+	// crowd the top-K, and stall the loop on permanent duplicates.
+	for i := 1; i < base; i++ {
+		wi := λ * (o.yBW[i-1] + o.yCost*o.m.paths[i].Cost)
+		if rc := o.firstDeliver[i] - wi - o.y0; rc > flo {
+			record(i, 0, rc)
+		}
+		row := o.pRetr[(i-1)*real : i*real]
+		del := o.pDeliver[(i-1)*real : i*real]
+		for j := 1; j < base; j++ {
+			wj := λ * (o.yBW[j-1] + o.yCost*o.m.paths[j].Cost)
+			pR := row[j-1]
+			d := o.firstDeliver[i] + pR*del[j-1]
+			if d > 1 {
+				d = 1
+			}
+			rc := d - wi - pR*wj - o.y0
+			if rc > flo {
+				record(i, j, rc)
+			}
+		}
+	}
+	out := make([][]int, len(o.found))
+	for i, f := range o.found {
+		out[i] = f.combo
+	}
+	return out
+}
+
+// seed primes the pool: the empty column, one drop-after-first column
+// per real path, and each path's best retransmission partner by
+// second-leg delivery mass. The digit scratch is unused — pair combos
+// are tiny literals.
+func (o *randomObjective) seed(cs *colSet, _ []int) {
+	m := o.m
+	cs.add(m, o, []int{0, 0})
+	real := m.base - 1
+	for i := 1; i < m.base; i++ {
+		cs.add(m, o, []int{i, 0})
+		bestJ, bestGain := 0, 0.0
+		row := o.pRetr[(i-1)*real : i*real]
+		del := o.pDeliver[(i-1)*real : i*real]
+		for j := 1; j < m.base; j++ {
+			if g := row[j-1] * del[j-1]; g > bestGain {
+				bestJ, bestGain = j, g
+			}
+		}
+		if bestJ != 0 {
+			cs.add(m, o, []int{i, bestJ})
+		}
+	}
+}
+
+// SolveQualityRandomCG solves the §VI-B random-delay model without
+// materializing the (n+1)² pair space: the Eqs. 27–30 coefficients are
+// tabulated per ordered pair, a restricted master grows by
+// exact-scan pricing, and freshly priced pairs are appended onto the
+// hot simplex tableau. Reaches the same optimum as the dense
+// enumeration; most callers want SolveQualityRandom, which dispatches
+// here automatically above the dense threshold.
+func (s *Solver) SolveQualityRandomCG(n *Network, to *Timeouts) (*Solution, error) {
+	m, ro, err := s.randomModel(n, to, nil)
+	if err != nil {
+		return nil, err
+	}
+	cs := newColSet()
+	ro.seed(cs, s.scratch(m.m))
+	prob, lpSol, iters, _, err := s.runCG(nil, m, cs, ro, nil, cgPriceTol, cgPriceTol, nil)
+	if err != nil {
+		return nil, err
+	}
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters}
+	return sol, nil
+}
+
+// randomModel validates the random-delay inputs and builds the sparse
+// model plus the tabulated pair objective (reusing prev's storage).
+func (s *Solver) randomModel(n *Network, to *Timeouts, prev *randomObjective) (*model, *randomObjective, error) {
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.m != 2 {
+		return nil, nil, ErrRandomNeedsTwoTransmissions
+	}
+	if err := validateTimeouts(n, to); err != nil {
+		return nil, nil, err
+	}
+	return m, newRandomObjective(m, to, prev), nil
+}

@@ -112,14 +112,15 @@ func (m *model) computeColumnsInto(cols *columns, digits []int) {
 	}
 }
 
-// appendColumn evaluates combo's column and appends it, copying the
-// digits. Used by the dynamically grown column sets of the pruned-dense
-// and column-generation solve paths.
-func (c *columns) appendColumn(m *model, combo []int) {
-	base := m.base
+// appendColumn evaluates combo's column via eval (the objective-specific
+// column evaluation: deterministic columnOf, or the random-delay pair
+// tables) and appends it, copying the digits. Used by the dynamically
+// grown column sets of the pruned-dense and column-generation solve
+// paths.
+func (c *columns) appendColumn(base int, eval func([]int, []float64) (float64, float64), combo []int) {
 	start := len(c.shares)
 	c.shares = append(c.shares, make([]float64, base)...)
-	delivery, cost := m.columnOf(combo, c.shares[start:start+base])
+	delivery, cost := eval(combo, c.shares[start:start+base])
 	c.delivery = append(c.delivery, delivery)
 	c.costs = append(c.costs, cost)
 	c.combos = append(c.combos, append(Combo(nil), combo...))

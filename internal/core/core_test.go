@@ -204,10 +204,10 @@ func TestTooManyVariables(t *testing.T) {
 	if _, err := BuildLP(n); err == nil {
 		t.Error("BuildLP accepted a combination space beyond DenseLimit")
 	}
-	if _, err := SolveMinCost(n, 0.5); err == nil {
-		t.Error("SolveMinCost accepted a combination space beyond DenseLimit")
-	}
-	// ...while SolveQuality dispatches to column generation and solves it.
+	// ...while the solve entry points dispatch to column generation and
+	// solve it (SolveMinCost and SolveQualityRandom used to stop dead at
+	// the cap; see TestMinCostOverflowDispatchesToCG for the overflow
+	// regression).
 	sol, err := SolveQuality(n)
 	if err != nil {
 		t.Fatalf("SolveQuality (CG dispatch): %v", err)
@@ -217,6 +217,16 @@ func TestTooManyVariables(t *testing.T) {
 	}
 	if sol.Quality <= 0 || sol.Quality > 1 {
 		t.Errorf("CG quality = %v", sol.Quality)
+	}
+	csol, err := SolveMinCost(n, 0.5)
+	if err != nil {
+		t.Fatalf("SolveMinCost (CG dispatch): %v", err)
+	}
+	if csol.Stats.Dispatch != DispatchCG {
+		t.Errorf("min-cost dispatch = %v, want %v", csol.Stats.Dispatch, DispatchCG)
+	}
+	if csol.Quality < 0.5-1e-6 {
+		t.Errorf("min-cost quality %v below the 0.5 floor", csol.Quality)
 	}
 }
 

@@ -263,8 +263,12 @@ type ExactSolution struct {
 	Network *ExactNetwork
 	// X is the exact optimal traffic split over combination indices.
 	X []*big.Rat
-	// Quality is the exact optimal Q.
+	// Quality is the exact optimal Q (for SolveMinCostExact, the exact
+	// quality the minimum-cost strategy achieves).
 	Quality *big.Rat
+	// Cost is the exact expected total cost per second; set by
+	// SolveMinCostExact (nil on quality solves).
+	Cost *big.Rat
 
 	em *exactModel
 }
@@ -315,6 +319,64 @@ func SolveQualityExact(n *ExactNetwork) (*ExactSolution, error) {
 		return nil, fmt.Errorf("core: exact quality LP unexpectedly %v", sol.Status)
 	}
 	return &ExactSolution{Network: n, X: sol.X, Quality: sol.Objective, em: em}, nil
+}
+
+// SolveMinCostExact solves the §VI-A cost minimization with exact
+// rational arithmetic: minimize the expected total cost per second
+// subject to the bandwidth rows, the conservation row, and the quality
+// floor p·x ≥ minQuality. The differential reference for the float
+// min-cost solve paths (dense, pruned, and column generation). Returns
+// ErrInfeasible wrapped in an error when the floor is unattainable.
+func SolveMinCostExact(n *ExactNetwork, minQuality *big.Rat) (*ExactSolution, error) {
+	if minQuality == nil || minQuality.Sign() < 0 || minQuality.Cmp(big.NewRat(1, 1)) > 0 {
+		return nil, fmt.Errorf("core: exact min quality %v outside [0,1]", minQuality)
+	}
+	em, err := newExactModel(n)
+	if err != nil {
+		return nil, err
+	}
+	obj := make([]*big.Rat, em.nVars)
+	delivery := make([]*big.Rat, em.nVars)
+	shares := make([][]*big.Rat, em.nVars)
+	for l := 0; l < em.nVars; l++ {
+		c := em.combo(l)
+		delivery[l] = em.deliveryProb(c)
+		shares[l] = em.sendShare(c)
+		obj[l] = new(big.Rat).Mul(em.net.Rate, em.comboCost(c))
+	}
+
+	prob := ratlp.NewProblem(lp.Minimize, obj)
+	for i := 1; i < em.base; i++ {
+		row := make([]*big.Rat, em.nVars)
+		for l := 0; l < em.nVars; l++ {
+			row[l] = new(big.Rat).Mul(em.net.Rate, shares[l][i])
+		}
+		prob.AddConstraint(row, lp.LE, em.bw[i]) // nil bandwidth = vacuous
+	}
+	prob.AddConstraint(delivery, lp.GE, minQuality)
+	ones := make([]*big.Rat, em.nVars)
+	for l := range ones {
+		ones[l] = big.NewRat(1, 1)
+	}
+	prob.AddConstraint(ones, lp.EQ, big.NewRat(1, 1))
+
+	sol, err := ratlp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving exact min-cost LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("core: exact quality %v unattainable: %w", minQuality, ErrInfeasible)
+	default:
+		return nil, fmt.Errorf("core: exact min-cost LP unexpectedly %v", sol.Status)
+	}
+	q := new(big.Rat)
+	term := new(big.Rat)
+	for l, x := range sol.X {
+		q.Add(q, term.Mul(delivery[l], x))
+	}
+	return &ExactSolution{Network: n, X: sol.X, Quality: q, Cost: sol.Objective, em: em}, nil
 }
 
 // Fraction returns the exact share of a combination (model indexing).

@@ -246,11 +246,13 @@ func blackholePath() Path {
 	}
 }
 
-// DenseLimit is the hard cap on materialized LP columns: dense solve
-// paths (BuildLP, SolveMinCost, SolveQualityRandom, QualityUpperBound,
-// and SolveQuality below its dispatch threshold) refuse instances whose
-// combination count (n+1)^m exceeds it. SolveQuality switches to column
-// generation instead of failing; see SolveQualityCG.
+// DenseLimit is the hard cap on materialized LP columns: dense-only
+// entry points (BuildLP and QualityUpperBound) refuse instances whose
+// combination count (n+1)^m exceeds it. Every solve entry point —
+// SolveQuality, SolveMinCost, SolveQualityRandom — dispatches to column
+// generation above its dense threshold instead of failing, so the cap
+// is unreachable from them; see SolveQualityCG, SolveMinCostCG, and
+// SolveQualityRandomCG.
 const DenseLimit = 1 << 22
 
 // combinationCount returns base^m when it is at most limit. The product
@@ -279,7 +281,7 @@ func newModel(n *Network) (*model, error) {
 	}
 	nVars, ok := combinationCount(m.base, m.m, DenseLimit)
 	if !ok {
-		return nil, fmt.Errorf("core: %d paths with %d transmissions yields more than %d path combinations; use SolveQuality's column-generation dispatch or reduce Transmissions",
+		return nil, fmt.Errorf("core: %d paths with %d transmissions yields more than %d path combinations, beyond dense enumeration; the solve entry points (SolveQuality, SolveMinCost, SolveQualityRandom) handle such instances by column generation",
 			len(n.Paths), m.m, DenseLimit)
 	}
 	m.nVars = nVars

@@ -34,7 +34,15 @@ func SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
 // τᵢ. Combinations whose first attempt is the blackhole deliver nothing
 // and are never retransmitted; combinations with an undefined timeout
 // cannot retransmit in time (their delivery reduces to the first attempt).
+//
+// Dispatch scales with the pair count (n+1)²: small spaces enumerate
+// densely, larger ones — including path counts whose pair space exceeds
+// DenseLimit — solve by column generation (SolveQualityRandomCG). Both
+// reach the same LP optimum; Solution.Stats reports which core ran.
 func (s *Solver) SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
+	if !s.denseDispatchOK(n) {
+		return s.SolveQualityRandomCG(n, to)
+	}
 	m, err := newModel(n)
 	if err != nil {
 		return nil, err
@@ -42,12 +50,8 @@ func (s *Solver) SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error)
 	if m.m != 2 {
 		return nil, ErrRandomNeedsTwoTransmissions
 	}
-	toSize := 0
-	if to != nil {
-		toSize = len(to.T)
-	}
-	if toSize != len(n.Paths) {
-		return nil, fmt.Errorf("core: timeout table size %d, want %d", toSize, len(n.Paths))
+	if err := validateTimeouts(n, to); err != nil {
+		return nil, err
 	}
 
 	cols := m.randomColumns(to)
@@ -59,12 +63,38 @@ func (s *Solver) SolveQualityRandom(n *Network, to *Timeouts) (*Solution, error)
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("core: random-delay LP unexpectedly %v", sol.Status)
 	}
-	return m.newSolution(prob, cols, sol.X, sol.Objective), nil
+	out := m.newSolution(prob, cols, sol.X, sol.Objective)
+	out.Stats = SolveStats{Dispatch: DispatchDense, Columns: cols.len()}
+	return out, nil
+}
+
+// validateTimeouts checks the timeout table matches the network's path
+// count.
+func validateTimeouts(n *Network, to *Timeouts) error {
+	toSize := 0
+	if to != nil {
+		toSize = len(to.T)
+	}
+	if toSize != len(n.Paths) {
+		return fmt.Errorf("core: timeout table size %d, want %d", toSize, len(n.Paths))
+	}
+	return nil
 }
 
 // randomColumns evaluates Eqs. 27–30 for every combination (m = 2) into
 // flat column tables.
 func (m *model) randomColumns(to *Timeouts) *columns {
+	cols := newColumns(m.nVars, m.base, 2)
+	m.randomColumnsInto(cols, to)
+	return cols
+}
+
+// randomColumnsInto re-evaluates the dense random-delay column tables in
+// place for a model whose coefficients (delays, losses, costs, timeouts)
+// drifted but whose shape did not: cols must have been built for the
+// same (nVars, base, 2). Every entry is overwritten — the random-delay
+// analogue of computeColumnsInto on the incremental warm path.
+func (m *model) randomColumnsInto(cols *columns, to *Timeouts) {
 	n := m.net
 	δ := n.Lifetime
 	ack := n.Paths[n.AckPathIndex()].delayDist()
@@ -77,7 +107,9 @@ func (m *model) randomColumns(to *Timeouts) *columns {
 	}
 
 	base, nVars := m.base, m.nVars
-	cols := newColumns(nVars, base, 2)
+	clear(cols.shares)
+	clear(cols.delivery)
+	clear(cols.costs)
 	for l := 0; l < nVars; l++ {
 		i, j := l%base, l/base
 		cols.combos[l][0], cols.combos[l][1] = i, j
@@ -122,5 +154,4 @@ func (m *model) randomColumns(to *Timeouts) *columns {
 		cols.delivery[l] = clamp01(delivery + pRetrans*pRetransDeliver)
 		cols.costs[l] = cost
 	}
-	return cols
 }

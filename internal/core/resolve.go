@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -26,19 +27,32 @@ const (
 	cgMaxPoolColumns = 8192
 )
 
-// resolveState is the persistent warm-start state behind Solver.Resolve:
-// everything reusable across solves of same-shaped networks whose
-// λ/µ/loss/delay coefficients drift. It is invalidated whenever the
-// network shape (path count, transmissions, cost-boundedness) or the
-// planned dispatch changes.
+// solveObjective names which optimization a persistent re-solve state
+// was built for. Reusing columns or a basis across objectives would be
+// wrong (different masters, different duals), so the state is keyed on
+// it alongside the network shape.
+type solveObjective uint8
+
+const (
+	objQuality solveObjective = iota
+	objMinCost
+	objRandom
+)
+
+// resolveState is the persistent warm-start state behind the Resolve
+// family: everything reusable across solves of same-shaped networks
+// whose λ/µ/loss/delay coefficients drift. It is invalidated whenever
+// the network shape (path count, transmissions, cost-boundedness), the
+// objective, or the planned dispatch changes.
 type resolveState struct {
 	valid bool
 
 	// Shape key.
-	nPaths   int
-	trans    int
-	hasCost  bool
-	dispatch Dispatch
+	nPaths    int
+	trans     int
+	hasCost   bool
+	dispatch  Dispatch
+	objective solveObjective
 
 	// Dense and pruned dispatch: the full dense column table, rebuilt in
 	// place each re-solve.
@@ -51,6 +65,11 @@ type resolveState struct {
 	// CG dispatch: the persistent column pool and pricing oracle.
 	pool   *colSet
 	pricer *pricer
+	// rnd holds the random-delay pair tables (objRandom); its buffers
+	// are reused across re-solves, the values re-tabulated each time.
+	rnd *randomObjective
+	// mcObj is the min-cost master objective buffer (objMinCost).
+	mcObj []float64
 
 	// Optimal LP basis of the previous solve and the structural column
 	// count it was captured against.
@@ -61,20 +80,34 @@ type resolveState struct {
 	duals []float64
 }
 
+// resolveReq carries one Resolve call's objective and its parameters.
+type resolveReq struct {
+	obj        solveObjective
+	minQuality float64   // objMinCost
+	to         *Timeouts // objRandom
+}
+
 // matches reports whether the warm state can serve the network.
-func (rs *resolveState) matches(s *Solver, n *Network) bool {
+func (rs *resolveState) matches(s *Solver, n *Network, obj solveObjective) bool {
 	return rs.valid &&
+		rs.objective == obj &&
 		rs.nPaths == len(n.Paths) &&
 		rs.trans == n.transmissions() &&
 		rs.hasCost == !math.IsInf(n.CostBound, 1) &&
-		rs.dispatch == s.plannedDispatch(n)
+		rs.dispatch == s.plannedDispatch(n, obj)
 }
 
-// plannedDispatch computes which solve core SolveQuality/Resolve will
-// use for the network's shape under the solver's current thresholds.
-func (s *Solver) plannedDispatch(n *Network) Dispatch {
+// plannedDispatch computes which solve core the Resolve family will use
+// for the network's shape under the solver's current thresholds. The
+// random-delay objective never dispatches to the dominance pruner (its
+// structural canonicalization assumes the deterministic schedule), so
+// its dense window reports DispatchDense throughout.
+func (s *Solver) plannedDispatch(n *Network, obj solveObjective) Dispatch {
 	if !s.denseDispatchOK(n) {
 		return DispatchCG
+	}
+	if obj == objRandom {
+		return DispatchDense
 	}
 	nVars, _ := combinationCount(len(n.Paths)+1, n.transmissions(), DenseLimit)
 	th := s.PruneThreshold
@@ -100,7 +133,9 @@ func (s *Solver) plannedDispatch(n *Network) Dispatch {
 //     drift actually made attractive,
 //   - the previous optimal simplex basis is re-installed, skipping LP
 //     Phase I whenever it is still feasible for the perturbed
-//     coefficients (with automatic cold fallback when it is not).
+//     coefficients (with dual-simplex repair when the drift left it
+//     dual feasible, and automatic cold fallback otherwise), and later
+//     CG iterations append their columns onto the hot tableau.
 //
 // The result is identical to a cold SolveQuality up to solver tolerance;
 // Solution.Stats reports Warm, PhaseISkipped, and the pool hit counts.
@@ -114,31 +149,67 @@ func (s *Solver) plannedDispatch(n *Network) Dispatch {
 // SolveQuality, which never reuses result storage). Like every Solver
 // method, Resolve is not safe for concurrent use.
 func (s *Solver) Resolve(n *Network) (*Solution, error) {
-	if s.rs.matches(s, n) {
-		sol, err := s.resolveWarm(n)
+	return s.resolve(n, resolveReq{obj: objQuality})
+}
+
+// ResolveMinCost is the incremental counterpart of SolveMinCost: §VI-A
+// cost minimization under a quality floor, with the same warm-state
+// reuse, result-invalidation contract, and cold fallback as Resolve.
+// The floor itself may drift between calls — it is a constraint bound,
+// not part of the network shape. A genuinely unattainable floor returns
+// ErrInfeasible (the verdict is always certified cold) and re-primes
+// the state on the next call.
+func (s *Solver) ResolveMinCost(n *Network, minQuality float64) (*Solution, error) {
+	if math.IsNaN(minQuality) || minQuality < 0 || minQuality > 1 {
+		return nil, fmt.Errorf("core: min quality %v outside [0,1]", minQuality)
+	}
+	return s.resolve(n, resolveReq{obj: objMinCost, minQuality: minQuality})
+}
+
+// ResolveQualityRandom is the incremental counterpart of
+// SolveQualityRandom: the §VI-B random-delay model under drifting
+// delays, losses, and timeout tables, with the same warm-state reuse,
+// result-invalidation contract, and cold fallback as Resolve. The pair
+// tables are re-tabulated every call (they depend on the drifting
+// delays); what warms is the column pool, the LP basis, and all
+// storage.
+func (s *Solver) ResolveQualityRandom(n *Network, to *Timeouts) (*Solution, error) {
+	return s.resolve(n, resolveReq{obj: objRandom, to: to})
+}
+
+func (s *Solver) resolve(n *Network, req resolveReq) (*Solution, error) {
+	if s.rs.matches(s, n, req.obj) {
+		sol, err := s.resolveWarm(n, req)
 		if err == nil {
 			return sol, nil
+		}
+		// An infeasible quality floor is a genuine, cold-certified
+		// verdict — not a warm-state failure. Report it; the state was
+		// already reset so the next call re-primes.
+		if errors.Is(err, ErrInfeasible) {
+			s.rs = resolveState{}
+			return nil, err
 		}
 		// The warm state proved unusable (diverged column generation,
 		// stale pool past its cap, …): drop it and solve cold. A stale
 		// cache must never fail a solve that a cold path can do.
 		s.rs = resolveState{}
 	}
-	return s.resolveCold(n)
+	return s.resolveCold(n, req)
 }
 
 // resolveCold primes the warm state with a cold solve.
-func (s *Solver) resolveCold(n *Network) (*Solution, error) {
+func (s *Solver) resolveCold(n *Network, req resolveReq) (*Solution, error) {
 	s.rs = resolveState{}
-	dispatch := s.plannedDispatch(n)
+	dispatch := s.plannedDispatch(n, req.obj)
 	var (
 		sol *Solution
 		err error
 	)
 	if dispatch == DispatchCG {
-		sol, err = s.resolveColdCG(n)
+		sol, err = s.resolveColdCG(n, req)
 	} else {
-		sol, err = s.resolveColdDense(n)
+		sol, err = s.resolveColdDense(n, req)
 	}
 	if err != nil {
 		s.rs = resolveState{}
@@ -149,26 +220,114 @@ func (s *Solver) resolveCold(n *Network) (*Solution, error) {
 	s.rs.trans = n.transmissions()
 	s.rs.hasCost = !math.IsInf(n.CostBound, 1)
 	s.rs.dispatch = dispatch
+	s.rs.objective = req.obj
 	return sol, nil
 }
 
-// resolveColdDense is the dense/pruned cold solve with state capture.
-func (s *Solver) resolveColdDense(n *Network) (*Solution, error) {
+// denseMaster assembles and solves the dense master for the request's
+// objective over the given columns, returning the LP solution (the
+// caller builds the public Solution). Used by both the cold and warm
+// dense resolve paths; opts carries the warm basis when one applies.
+func (s *Solver) denseMaster(m *model, cols *columns, req resolveReq, opts lp.Options) (*lp.Problem, *lp.Solution, error) {
+	var prob *lp.Problem
+	switch req.obj {
+	case objMinCost:
+		s.rs.mcObj = grow(s.rs.mcObj, cols.len())
+		λ := m.net.Rate
+		for l, c := range cols.costs {
+			s.rs.mcObj[l] = λ * c
+		}
+		quality := lp.Constraint{Name: "quality", Coeffs: cols.delivery, Rel: lp.GE, RHS: req.minQuality}
+		prob = m.assembleProblemInto(&s.asm, lp.Minimize, s.rs.mcObj, cols, &quality, false)
+	default: // objQuality, objRandom share the Eq. 10 master shape
+		prob = m.assembleProblemInto(&s.asm, lp.Maximize, cols.delivery, cols, nil, true)
+	}
+	lpSol, err := s.lps.SolveWith(prob, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: solving LP: %w", err)
+	}
+	switch lpSol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		if req.obj == objMinCost {
+			return nil, nil, fmt.Errorf("core: quality %v unattainable on this network: %w", req.minQuality, ErrInfeasible)
+		}
+		fallthrough
+	default:
+		return nil, nil, fmt.Errorf("core: LP unexpectedly %v", lpSol.Status)
+	}
+	return prob, lpSol, nil
+}
+
+// denseColumns evaluates the request's dense column tables, into cols
+// when non-nil (the warm in-place rebuild) or freshly.
+func (s *Solver) denseColumns(m *model, req resolveReq, cols *columns) *columns {
+	if req.obj == objRandom {
+		if cols == nil {
+			return m.randomColumns(req.to)
+		}
+		m.randomColumnsInto(cols, req.to)
+		return cols
+	}
+	if cols == nil {
+		return m.computeColumns(s.scratch(m.m))
+	}
+	m.computeColumnsInto(cols, s.scratch(m.m))
+	return cols
+}
+
+// finishSolution attaches the objective-appropriate quality to a solved
+// master: the LP objective for the quality objectives, the recomputed
+// p·x for min-cost (whose LP objective is cost).
+func finishSolution(m *model, prob *lp.Problem, cols *columns, lpSol *lp.Solution, req resolveReq, index map[uint64]int) *Solution {
+	quality := lpSol.Objective
+	if req.obj == objMinCost {
+		quality = 0
+		for l, x := range lpSol.X {
+			quality += x * cols.delivery[l]
+		}
+		quality = clamp01(quality)
+	}
+	return m.newSolutionIndexed(prob, cols, lpSol.X, quality, index)
+}
+
+// newDenseModel builds the dense model for a resolve request, checking
+// the request's structural preconditions (m = 2 and the timeout table
+// for the random objective).
+func (s *Solver) newDenseModel(n *Network, req resolveReq) (*model, error) {
 	m, err := newModel(n)
 	if err != nil {
 		return nil, err
 	}
-	full := m.computeColumns(s.scratch(m.m))
-	cols, index := s.pruneIfWorthwhile(m, full)
-	prob := m.assembleProblemInto(&s.asm, lp.Maximize, cols.delivery, cols, nil, true)
-	lpSol, err := s.lps.SolveWith(prob, lp.Options{AssumeValid: true, CaptureBasis: true})
+	if req.obj == objRandom {
+		if m.m != 2 {
+			return nil, ErrRandomNeedsTwoTransmissions
+		}
+		if err := validateTimeouts(n, req.to); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// resolveColdDense is the dense/pruned cold solve with state capture.
+func (s *Solver) resolveColdDense(n *Network, req resolveReq) (*Solution, error) {
+	m, err := s.newDenseModel(n, req)
 	if err != nil {
-		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+		return nil, err
 	}
-	if lpSol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: quality LP unexpectedly %v", lpSol.Status)
+	full := s.denseColumns(m, req, nil)
+	cols, index := full, map[uint64]int(nil)
+	if req.obj != objRandom {
+		// The dominance pruner's structural canonicalization assumes the
+		// deterministic schedule; random-delay tables solve unpruned.
+		cols, index = s.pruneIfWorthwhile(m, full)
 	}
-	out := m.newSolutionIndexed(prob, cols, lpSol.X, lpSol.Objective, index)
+	prob, lpSol, err := s.denseMaster(m, cols, req, lp.Options{AssumeValid: true, CaptureBasis: true})
+	if err != nil {
+		return nil, err
+	}
+	out := finishSolution(m, prob, cols, lpSol, req, index)
 	out.Stats = denseStats(m, cols, index)
 
 	s.rs.dense = full
@@ -176,44 +335,6 @@ func (s *Solver) resolveColdDense(n *Network) (*Solution, error) {
 	s.rs.lastN = cols.len()
 	s.rs.keptKeys = packedKeys(m, cols, nil)
 	return out, nil
-}
-
-// resolveColdCG is the column-generation cold solve with pool capture.
-func (s *Solver) resolveColdCG(n *Network) (*Solution, error) {
-	m, err := newSparseModel(n)
-	if err != nil {
-		return nil, err
-	}
-	cs := newColSet()
-	m.seedColumns(cs, s.scratch(m.m))
-	pr := newPricer(m)
-	prob, lpSol, iters, _, err := s.runCG(&s.asm, m, cs, pr, nil, cgPriceTol, cgPriceTol)
-	if err != nil {
-		return nil, err
-	}
-	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
-	sol.Stats = SolveStats{
-		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters,
-		PoolAdded: cs.cols.len(),
-	}
-
-	s.rs.pool = cs
-	s.rs.pricer = pr
-	s.rs.basis = lpSol.Basis
-	s.rs.lastN = cs.cols.len()
-	s.rs.duals = append(s.rs.duals[:0], lpSol.Dual...)
-	return sol, nil
-}
-
-// resolveWarm dispatches the warm re-solve; any error sends Resolve down
-// the cold path.
-func (s *Solver) resolveWarm(n *Network) (*Solution, error) {
-	switch s.rs.dispatch {
-	case DispatchCG:
-		return s.resolveWarmCG(n)
-	default:
-		return s.resolveWarmDense(n)
-	}
 }
 
 // resolveWarmDense re-solves the dense and pruned dispatches: the dense
@@ -224,8 +345,8 @@ func (s *Solver) resolveWarm(n *Network) (*Solution, error) {
 // warm-starting the simplex over the unpruned table, which the basis
 // lands within a few pivots of optimal anyway. (The cold prime still
 // prunes; only re-solves skip it.)
-func (s *Solver) resolveWarmDense(n *Network) (*Solution, error) {
-	m, err := newModel(n)
+func (s *Solver) resolveWarmDense(n *Network, req resolveReq) (*Solution, error) {
+	m, err := s.newDenseModel(n, req)
 	if err != nil {
 		return nil, err
 	}
@@ -236,21 +357,17 @@ func (s *Solver) resolveWarmDense(n *Network) (*Solution, error) {
 	if full.len() != m.nVars {
 		return nil, fmt.Errorf("core: warm state shape mismatch (%d cached columns, %d needed)", full.len(), m.nVars)
 	}
-	m.computeColumnsInto(full, s.scratch(m.m))
+	s.denseColumns(m, req, full)
 
-	prob := m.assembleProblemInto(&s.asm, lp.Maximize, full.delivery, full, nil, true)
 	opts := lp.Options{AssumeValid: true, CaptureBasis: true}
 	if s.rs.basis != nil {
 		opts.WarmBasis = s.rs.basis.Remap(full.len(), s.basisPerm())
 	}
-	lpSol, err := s.lps.SolveWith(prob, opts)
+	prob, lpSol, err := s.denseMaster(m, full, req, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: solving quality LP: %w", err)
+		return nil, err
 	}
-	if lpSol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: quality LP unexpectedly %v", lpSol.Status)
-	}
-	out := m.newSolution(prob, full, lpSol.X, lpSol.Objective)
+	out := finishSolution(m, prob, full, lpSol, req, nil)
 	// Report the shape's planned dispatch (dense or pruned) so warm and
 	// cold solves of the same network label their rows consistently,
 	// even though the warm path solves the full table either way.
@@ -264,11 +381,97 @@ func (s *Solver) resolveWarmDense(n *Network) (*Solution, error) {
 	return out, nil
 }
 
+// cgSetup builds the request's sparse model and CG objective, reusing
+// the persistent pricer and buffers from the warm state when they
+// exist.
+func (s *Solver) cgSetup(n *Network, req resolveReq) (*model, cgObjective, error) {
+	if req.obj == objRandom {
+		m, ro, err := s.randomModel(n, req.to, s.rs.rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.rs.rnd = ro
+		return m, ro, nil
+	}
+	m, err := newSparseModel(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr := s.rs.pricer
+	if pr == nil {
+		pr = newPricer(m)
+		s.rs.pricer = pr
+	} else {
+		pr.bind(m)
+	}
+	if req.obj == objMinCost {
+		mo := &minCostObjective{m: m, pr: pr, minQuality: req.minQuality, obj: s.rs.mcObj}
+		return m, mo, nil
+	}
+	return m, &qualityObjective{m: m, pr: pr, costRow: true}, nil
+}
+
+// resolveColdCG is the column-generation cold solve with pool capture.
+func (s *Solver) resolveColdCG(n *Network, req resolveReq) (*Solution, error) {
+	m, obj, err := s.cgSetup(n, req)
+	if err != nil {
+		return nil, err
+	}
+	cs := newColSet()
+	obj.seed(cs, s.scratch(m.m))
+	sol, lpSol, err := s.runObjectiveCG(m, cs, obj, nil, cgPriceTol, false)
+	if err != nil {
+		return nil, err
+	}
+	sol.Stats.PoolAdded = cs.cols.len()
+
+	s.rs.pool = cs
+	s.rs.basis = lpSol.Basis
+	s.rs.lastN = cs.cols.len()
+	s.rs.duals = append(s.rs.duals[:0], lpSol.Dual...)
+	return sol, nil
+}
+
+// runObjectiveCG runs the objective's column-generation driver over the
+// pool — the two-stage min-cost engine, or a plain runCG for the
+// quality objectives — and assembles the Solution with its CG stats.
+// Shared by the cold and warm CG resolve paths; basis and
+// skipFeasStage carry the warm state (nil/false on cold primes).
+func (s *Solver) runObjectiveCG(m *model, cs *colSet, obj cgObjective, basis *lp.Basis, certTol float64, skipFeasStage bool) (*Solution, *lp.Solution, error) {
+	if o, ok := obj.(*minCostObjective); ok {
+		sol, lpSol, err := s.solveMinCostCG(&s.asm, m, cs, o, basis, certTol, skipFeasStage)
+		s.rs.mcObj = o.obj
+		return sol, lpSol, err
+	}
+	prob, lpSol, iters, firstWarm, err := s.runCG(&s.asm, m, cs, obj, basis, certTol, certTol, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
+	sol.Stats = SolveStats{
+		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters,
+		PhaseISkipped: firstWarm,
+	}
+	return sol, lpSol, nil
+}
+
+// resolveWarm dispatches the warm re-solve; any error other than an
+// infeasible quality floor sends resolve down the cold path.
+func (s *Solver) resolveWarm(n *Network, req resolveReq) (*Solution, error) {
+	switch s.rs.dispatch {
+	case DispatchCG:
+		return s.resolveWarmCG(n, req)
+	default:
+		return s.resolveWarmDense(n, req)
+	}
+}
+
 // resolveWarmCG re-solves the column-generation dispatch: the pooled
 // columns are repriced in place (every one a pricing-oracle call saved),
-// and the CG loop continues from the previous optimal basis.
-func (s *Solver) resolveWarmCG(n *Network) (*Solution, error) {
-	m, err := newSparseModel(n)
+// and the CG loop continues from the previous optimal basis, appending
+// newly priced columns onto the hot tableau.
+func (s *Solver) resolveWarmCG(n *Network, req resolveReq) (*Solution, error) {
+	m, obj, err := s.cgSetup(n, req)
 	if err != nil {
 		return nil, err
 	}
@@ -276,28 +479,24 @@ func (s *Solver) resolveWarmCG(n *Network) (*Solution, error) {
 	if cs.cols.len() > cgMaxPoolColumns {
 		return nil, fmt.Errorf("core: warm column pool exceeded %d columns", cgMaxPoolColumns)
 	}
-	cs.reevaluate(m)
-	pr := s.rs.pricer
-	pr.bind(m)
+	cs.reevaluate(m, obj)
 
 	var basis *lp.Basis
 	if s.rs.lastN == cs.cols.len() {
 		basis = s.rs.basis
 	}
 	if cs.cols.len() > cgTrimTrigger {
-		cs, basis = s.trimPool(m, basis)
+		cs, basis = s.trimPool(m, basis, req)
 	}
 	poolHits := cs.cols.len()
-	prob, lpSol, iters, firstWarm, err := s.runCG(&s.asm, m, cs, pr, basis, cgCertTolWarm, cgCertTolWarm)
+
+	sol, lpSol, err := s.runObjectiveCG(m, cs, obj, basis, cgCertTolWarm, true)
 	if err != nil {
 		return nil, err
 	}
-	sol := m.newSolutionIndexed(prob, &cs.cols, lpSol.X, lpSol.Objective, cs.pos)
-	sol.Stats = SolveStats{
-		Dispatch: DispatchCG, Columns: cs.cols.len(), CGIterations: iters,
-		Warm: true, PhaseISkipped: firstWarm,
-		PoolHits: poolHits, PoolAdded: cs.cols.len() - poolHits,
-	}
+	sol.Stats.Warm = true
+	sol.Stats.PoolHits = poolHits
+	sol.Stats.PoolAdded = cs.cols.len() - poolHits
 
 	s.rs.pool = cs
 	s.rs.basis = lpSol.Basis
@@ -307,37 +506,26 @@ func (s *Solver) resolveWarmCG(n *Network) (*Solution, error) {
 }
 
 // trimPool compacts the warm column pool to the cgTrimKeep columns with
-// the best reduced cost under the previous master's duals (evaluated on
+// the best pricing gain under the previous master's duals (evaluated on
 // the already-repriced drifted columns), always keeping the basic ones.
 // Returns the compact pool and the basis remapped onto it (nil when a
 // basic column could not be preserved, which sends the master down the
 // cold-LP path but keeps the pool win).
-func (s *Solver) trimPool(m *model, basis *lp.Basis) (*colSet, *lp.Basis) {
+func (s *Solver) trimPool(m *model, basis *lp.Basis, req resolveReq) (*colSet, *lp.Basis) {
 	cs := s.rs.pool
 	duals := s.rs.duals
 	n := cs.cols.len()
 	if n <= cgTrimKeep || duals == nil || len(duals) < m.base {
 		return cs, basis
 	}
-	λ := m.net.Rate
-	base := m.base
-	yBW := duals[:base-1]
-	next := base - 1
-	yCost := 0.0
-	if !math.IsInf(m.net.CostBound, 1) {
-		yCost = duals[next]
-		next++
+	score := s.poolScore(m, duals, req)
+	if score == nil {
+		return cs, basis
 	}
-	y0 := duals[next]
 
 	rc := make([]float64, n)
 	for j := 0; j < n; j++ {
-		v := cs.cols.delivery[j] - λ*yCost*cs.cols.costs[j] - y0
-		shares := cs.cols.shares[j*base : (j+1)*base]
-		for i := 1; i < base; i++ {
-			v -= λ * yBW[i-1] * shares[i]
-		}
-		rc[j] = v
+		rc[j] = score(j)
 	}
 
 	keep := make([]bool, n)
@@ -386,12 +574,58 @@ func (s *Solver) trimPool(m *model, basis *lp.Basis) (*colSet, *lp.Basis) {
 		perm[j] = out.cols.len()
 		out.pos[cs.keys[j]] = out.cols.len()
 		out.keys = append(out.keys, cs.keys[j])
-		out.cols.appendFrom(&cs.cols, j, base)
+		out.cols.appendFrom(&cs.cols, j, m.base)
 	}
 	if basis != nil {
 		basis = basis.Remap(out.cols.len(), perm)
 	}
 	return out, basis
+}
+
+// poolScore returns the per-column pricing gain under the previous
+// master's duals for the request's objective (higher = more worth
+// keeping), or nil when the dual vector does not match the expected
+// layout.
+func (s *Solver) poolScore(m *model, duals []float64, req resolveReq) func(j int) float64 {
+	cs := s.rs.pool
+	λ := m.net.Rate
+	base := m.base
+	yBW := duals[:base-1]
+	if req.obj == objMinCost {
+		// Layout: bandwidth rows, quality floor, conservation.
+		if len(duals) < base+1 {
+			return nil
+		}
+		yQ, y0 := duals[base-1], duals[base]
+		return func(j int) float64 {
+			v := yQ*cs.cols.delivery[j] - λ*cs.cols.costs[j] + y0
+			shares := cs.cols.shares[j*base : (j+1)*base]
+			for i := 1; i < base; i++ {
+				v += λ * yBW[i-1] * shares[i]
+			}
+			return v
+		}
+	}
+	// Layout: bandwidth rows, the cost row when the budget is finite,
+	// conservation.
+	next := base - 1
+	yCost := 0.0
+	if !math.IsInf(m.net.CostBound, 1) {
+		yCost = duals[next]
+		next++
+	}
+	if len(duals) <= next {
+		return nil
+	}
+	y0 := duals[next]
+	return func(j int) float64 {
+		v := cs.cols.delivery[j] - λ*yCost*cs.cols.costs[j] - y0
+		shares := cs.cols.shares[j*base : (j+1)*base]
+		for i := 1; i < base; i++ {
+			v -= λ * yBW[i-1] * shares[i]
+		}
+		return v
+	}
 }
 
 // basisPerm builds the structural-column permutation mapping the

@@ -157,11 +157,21 @@ func denseStats(m *model, cols *columns, index map[uint64]int) SolveStats {
 // constraint, implemented as p·x ≥ minQuality; the paper writes the
 // negated form — see DESIGN.md erratum #3).
 //
-// Returns lp.Infeasible wrapped in an error when the requested quality is
-// unattainable on the given network.
+// Returns ErrInfeasible wrapped in an error when the requested quality
+// is unattainable on the given network.
+//
+// Dispatch scales with the combination count (n+1)^m exactly like
+// SolveQuality: small spaces enumerate densely (dominance-pruned past
+// the prune threshold), anything above the dense threshold — including
+// counts that would overflow dense enumeration entirely — solves by
+// column generation (SolveMinCostCG). All paths reach the same LP
+// optimum; Solution.Stats reports which core ran.
 func (s *Solver) SolveMinCost(n *Network, minQuality float64) (*Solution, error) {
 	if math.IsNaN(minQuality) || minQuality < 0 || minQuality > 1 {
 		return nil, fmt.Errorf("core: min quality %v outside [0,1]", minQuality)
+	}
+	if !s.denseDispatchOK(n) {
+		return s.SolveMinCostCG(n, minQuality)
 	}
 	m, err := newModel(n)
 	if err != nil {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dmc/internal/conc"
+)
+
+// warmPoolStripes is the lock-striping width of a WarmPool: shape keys
+// hash onto independent mutexes so a 64-network fleet storm does not
+// serialize its check-outs on one lock.
+const warmPoolStripes = 16
+
+// warmKey identifies the network shape a pooled warm solver was primed
+// on. A solver whose last Resolve saw the same shape re-solves warm; a
+// mismatched one transparently re-primes cold (Resolve's own guard), so
+// the key is a hit-rate optimization, never a correctness requirement.
+type warmKey struct {
+	nPaths  int
+	trans   int
+	hasCost bool
+}
+
+func keyOf(n *Network) warmKey {
+	return warmKey{
+		nPaths:  len(n.Paths),
+		trans:   n.transmissions(),
+		hasCost: !math.IsInf(n.CostBound, 1),
+	}
+}
+
+func (k warmKey) stripe() int {
+	h := uint64(k.nPaths)*0x9e3779b97f4a7c15 + uint64(k.trans)*0x85ebca6b
+	if k.hasCost {
+		h += 0xc2b2ae35
+	}
+	return int((h >> 32) % warmPoolStripes)
+}
+
+type warmStripe struct {
+	mu sync.Mutex
+	m  map[warmKey][]*Solver
+}
+
+// WarmPool shares persistent incremental re-solve state across
+// SolveMany workers: a striped, shape-keyed pool of warm Solvers. A
+// fleet of drifting networks re-solved batch after batch (the §VIII-A
+// estimator storm at fleet scale) draws, per network, a solver whose
+// retained column tables, CG pools, and LP bases match the network —
+// so every worker re-solves warm instead of cold.
+//
+// Checkout is positional first: when a batch has the same size as the
+// pool's previous batch, network i gets the solver that solved index i
+// last time — the fleet idiom keeps each drifting network at a stable
+// index, and a warm state is only genuinely warm for the network whose
+// drift trajectory primed it. Solvers that cannot be matched by
+// position (first batch, changed batch size, a concurrent batch
+// already claimed the positional set) fall back to the shape-keyed
+// stripes, where any same-shaped warm solver still saves the structural
+// work; a full mismatch just re-primes cold inside Resolve.
+//
+// Within one batch each pooled solver serves at most one network
+// (checked-out solvers return to the pool only after the whole batch
+// completes), so the returned Solutions are never clobbered mid-batch.
+// They DO share storage with the pooled warm states: a later SolveMany
+// on the same pool rebuilds that storage in place, invalidating them —
+// the batch analogue of Solver.Resolve's contract. Extract what you
+// need from one batch's Solutions before issuing the next, or use the
+// package-level SolveMany, which never reuses result storage.
+//
+// A WarmPool is safe for concurrent use; concurrent batches simply
+// check out disjoint solvers.
+type WarmPool struct {
+	mu    sync.Mutex
+	byIdx []*Solver // previous batch's solvers, by network index
+
+	stripes [warmPoolStripes]warmStripe
+}
+
+// NewWarmPool returns an empty warm solver pool.
+func NewWarmPool() *WarmPool {
+	p := &WarmPool{}
+	for i := range p.stripes {
+		p.stripes[i].m = make(map[warmKey][]*Solver)
+	}
+	return p
+}
+
+// acquire pops a warm solver primed on the key's shape, or returns a
+// fresh one when none is pooled.
+func (p *WarmPool) acquire(k warmKey) *Solver {
+	st := &p.stripes[k.stripe()]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	stack := st.m[k]
+	if len(stack) == 0 {
+		return NewSolver()
+	}
+	s := stack[len(stack)-1]
+	st.m[k] = stack[:len(stack)-1]
+	return s
+}
+
+// release returns a solver to its shape's stack.
+func (p *WarmPool) release(k warmKey, s *Solver) {
+	st := &p.stripes[k.stripe()]
+	st.mu.Lock()
+	st.m[k] = append(st.m[k], s)
+	st.mu.Unlock()
+}
+
+// SolveMany solves the quality maximization (Eq. 10) for every network
+// across min(GOMAXPROCS, len(nets)) workers, each solve running on a
+// pooled warm solver's incremental path (Solver.Resolve). Results are
+// returned in input order; on error the first failure is returned
+// together with the partial results, and entries that did not solve are
+// nil. See the WarmPool type comment for the result-invalidation
+// contract.
+func (p *WarmPool) SolveMany(nets []*Network) ([]*Solution, error) {
+	// Claim the positional solver set when the batch shape allows it.
+	p.mu.Lock()
+	var byIdx []*Solver
+	if len(p.byIdx) == len(nets) {
+		byIdx, p.byIdx = p.byIdx, nil
+	}
+	p.mu.Unlock()
+
+	sols := make([]*Solution, len(nets))
+	solvers := make([]*Solver, len(nets))
+	err := conc.ForEach(len(nets), func(i int) error {
+		var sv *Solver
+		if byIdx != nil {
+			sv = byIdx[i]
+		}
+		if sv == nil {
+			sv = p.acquire(keyOf(nets[i]))
+		}
+		solvers[i] = sv
+		sol, err := sv.Resolve(nets[i])
+		if err != nil {
+			return fmt.Errorf("core: warm batch solve %d: %w", i, err)
+		}
+		sols[i] = sol
+		return nil
+	})
+	// Solvers re-enter the pool only after every worker finished: no
+	// state is reused twice within a batch, so no Solution above is
+	// rebuilt under a caller mid-batch. The completed batch becomes the
+	// next positional set; if a concurrent batch already installed one,
+	// these solvers retire to the shape stripes instead.
+	for i := range solvers {
+		if solvers[i] == nil {
+			// The error fan-out skipped this index: backfill from the
+			// claimed positional set so no solver leaks.
+			if byIdx != nil {
+				solvers[i] = byIdx[i]
+			}
+		}
+	}
+	p.mu.Lock()
+	if p.byIdx == nil {
+		p.byIdx = solvers
+		p.mu.Unlock()
+	} else {
+		p.mu.Unlock()
+		for i, sv := range solvers {
+			if sv != nil {
+				p.release(keyOf(nets[i]), sv)
+			}
+		}
+	}
+	return sols, err
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// driftFleet returns a fleet of networks plus rounds of drifted copies
+// (each round drifts every network of the previous round) — the
+// fleet-wide re-solve storm the shared warm pool serves.
+func driftFleet(rng *rand.Rand, size, rounds int) [][]*Network {
+	out := make([][]*Network, rounds+1)
+	out[0] = make([]*Network, size)
+	for i := range out[0] {
+		// A few distinct shapes so the pool's shape keying is exercised.
+		paths := 2 + i%3
+		out[0][i] = diffRandomNetwork(rng, paths, 2+i%2)
+	}
+	for r := 1; r <= rounds; r++ {
+		out[r] = make([]*Network, size)
+		for i, n := range out[r-1] {
+			out[r][i] = driftNetwork(rng, n, 0.08)
+		}
+	}
+	return out
+}
+
+// TestWarmPoolMatchesCold: every batch of a drifting fleet must return
+// the same optima as independent cold solves, and batches after the
+// first must actually run warm.
+func TestWarmPoolMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9001, 1))
+	rounds := driftFleet(rng, 24, 4)
+	pool := NewWarmPool()
+	for r, nets := range rounds {
+		sols, err := pool.SolveMany(nets)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		warmed := 0
+		for i, sol := range sols {
+			ref, err := SolveQuality(nets[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := abs64(sol.Quality - ref.Quality); gap > 1e-6 {
+				t.Fatalf("round %d net %d: pooled %v vs cold %v", r, i, sol.Quality, ref.Quality)
+			}
+			if sol.Stats.Warm {
+				warmed++
+			}
+		}
+		if r == 0 && warmed != 0 {
+			t.Fatalf("round 0 reported %d warm solves from an empty pool", warmed)
+		}
+		if r > 0 && warmed < len(nets)/2 {
+			t.Fatalf("round %d: only %d/%d solves ran warm; the pool is not being reused", r, warmed, len(nets))
+		}
+	}
+}
+
+// TestWarmPoolConcurrent hammers one WarmPool from several goroutines
+// at once — run under -race (the CI test target does) this is the data
+// race check for the striped shape-keyed pool.
+func TestWarmPoolConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9001, 2))
+	rounds := driftFleet(rng, 16, 3)
+	pool := NewWarmPool()
+	// Prime the pool once so concurrent batches contend for warm state.
+	if _, err := pool.SolveMany(rounds[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, len(rounds))
+	for r, nets := range rounds {
+		want[r] = make([]float64, len(nets))
+		for i, n := range nets {
+			ref, err := SolveQuality(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[r][i] = ref.Quality
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r, nets := range rounds {
+				sols, err := pool.SolveMany(nets)
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", g, r, err)
+					return
+				}
+				for i := range sols {
+					if gap := abs64(sols[i].Quality - want[r][i]); gap > 1e-6 {
+						t.Errorf("worker %d round %d net %d: %v vs %v", g, r, i, sols[i].Quality, want[r][i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWarmPoolError: a failing network reports an error, leaves the
+// other entries usable, and does not poison the pool.
+func TestWarmPoolError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9001, 3))
+	good := diffRandomNetwork(rng, 3, 2)
+	pool := NewWarmPool()
+	if _, err := pool.SolveMany([]*Network{good, {}}); err == nil {
+		t.Fatal("want error for invalid network")
+	}
+	sols, err := pool.SolveMany([]*Network{good})
+	if err != nil || sols[0] == nil {
+		t.Fatalf("good-only batch failed after error batch: %v", err)
+	}
+}

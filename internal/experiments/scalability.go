@@ -48,6 +48,21 @@ type ScalabilityConfig struct {
 	// Parallel fans grid points across GOMAXPROCS workers (off by
 	// default: the artifact is the per-solve wall time).
 	Parallel bool
+	// MinCost switches the sweep to the §VI-A objective: each instance
+	// solves SolveMinCost at the MinQuality floor instead of
+	// SolveQuality, exercising the min-cost column-generation dispatch
+	// at the same scales. The dense cross-check then compares optimal
+	// costs (relative gap) rather than qualities.
+	MinCost bool
+	// MinQuality is the §VI-A quality floor; zero means 0.5.
+	MinQuality float64
+}
+
+func (c ScalabilityConfig) minQuality() float64 {
+	if c.MinQuality <= 0 {
+		return 0.5
+	}
+	return c.MinQuality
 }
 
 func (c ScalabilityConfig) paths() []int {
@@ -98,7 +113,13 @@ func Scalability(cfg ScalabilityConfig) ([]ScalPoint, error) {
 		for run := 0; run < cfg.runs(); run++ {
 			net := RandomNetwork(rng, nPaths, m)
 			start := time.Now()
-			sol, err := solver.SolveQuality(net)
+			var sol *core.Solution
+			var err error
+			if cfg.MinCost {
+				sol, err = solver.SolveMinCost(net, cfg.minQuality())
+			} else {
+				sol, err = solver.SolveQuality(net)
+			}
 			if err != nil {
 				return fmt.Errorf("experiments: scalability n=%d m=%d: %w", nPaths, m, err)
 			}
@@ -109,7 +130,7 @@ func Scalability(cfg ScalabilityConfig) ([]ScalPoint, error) {
 			pt.Quality = sol.Quality
 
 			if cfg.VerifyDense && run == 0 {
-				gap, ok, err := verifyAgainstDense(net, sol.Quality)
+				gap, ok, err := verifyAgainstDense(cfg, net, sol)
 				if err != nil {
 					return fmt.Errorf("experiments: scalability n=%d m=%d dense verification: %w", nPaths, m, err)
 				}
@@ -148,22 +169,32 @@ func denseSpace(paths, m int) int {
 const verifyDenseLimit = 1 << 16
 
 // verifyAgainstDense re-solves with unpruned dense enumeration and
-// returns the quality gap; ok = false when the space is too large to
-// check. A dense-solve failure is an error, not a silent skip — the
-// sweep's verification column must never mask a broken solve as
-// "not checked".
-func verifyAgainstDense(net *core.Network, quality float64) (float64, bool, error) {
+// returns the gap to the scalable solve — quality gap for the quality
+// sweep, relative cost gap for the min-cost sweep; ok = false when the
+// space is too large to check. A dense-solve failure is an error, not a
+// silent skip — the sweep's verification column must never mask a
+// broken solve as "not checked".
+func verifyAgainstDense(cfg ScalabilityConfig, net *core.Network, sol *core.Solution) (float64, bool, error) {
 	if space := denseSpace(len(net.Paths), net.Transmissions); space < 0 || space > verifyDenseLimit {
 		return 0, false, nil
 	}
 	dense := core.NewSolver()
 	dense.DenseThreshold = core.DenseLimit
 	dense.PruneThreshold = -1
-	dsol, err := dense.SolveQuality(net)
-	if err != nil {
-		return 0, false, err
+	var gap float64
+	if cfg.MinCost {
+		dsol, err := dense.SolveMinCost(net, cfg.minQuality())
+		if err != nil {
+			return 0, false, err
+		}
+		gap = (sol.Cost() - dsol.Cost()) / (1 + dsol.Cost())
+	} else {
+		dsol, err := dense.SolveQuality(net)
+		if err != nil {
+			return 0, false, err
+		}
+		gap = sol.Quality - dsol.Quality
 	}
-	gap := quality - dsol.Quality
 	if gap < 0 {
 		gap = -gap
 	}

@@ -53,3 +53,38 @@ func TestScalabilitySweep(t *testing.T) {
 		}
 	}
 }
+
+// TestScalabilitySweepMinCost runs the §VI-A variant of the sweep on a
+// reduced grid: every point must meet the quality floor, dispatch
+// through CG where dense cannot reach, and agree with dense min-cost
+// solves (relative cost gap) where they are tractable.
+func TestScalabilitySweepMinCost(t *testing.T) {
+	pts, err := Scalability(ScalabilityConfig{
+		Paths:         []int{10, 25},
+		Transmissions: []int{3, 5},
+		Runs:          2,
+		Seed:          7,
+		VerifyDense:   true,
+		Parallel:      true,
+		MinCost:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCG := false
+	for _, p := range pts {
+		if p.Quality < 0.5-1e-6 {
+			t.Errorf("n=%d m=%d: quality %v below the 0.5 floor", p.Paths, p.Transmissions, p.Quality)
+		}
+		if p.Dispatch == core.DispatchCG {
+			sawCG = true
+		}
+		if p.DenseAgrees > 1e-6 {
+			t.Errorf("n=%d m=%d: min-cost solve differs from dense by %v (relative)",
+				p.Paths, p.Transmissions, p.DenseAgrees)
+		}
+	}
+	if !sawCG {
+		t.Error("no min-cost grid point dispatched to column generation")
+	}
+}

@@ -1,0 +1,211 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AppendSolve re-optimizes the problem last solved on this Solver after
+// new structural columns were appended to it — the true incremental
+// simplex step behind column generation. The solver's tableau is still
+// hot from the previous solve: instead of reloading the whole problem
+// and re-installing the basis pivot by pivot, each appended raw column
+// is transformed into the current basis representation (multiplying by
+// the implicit B⁻¹ carried by the unit-origin auxiliary columns) and
+// written into the widened tableau in place. The current basis stays
+// primal feasible — appended columns enter at zero — so Phase I is
+// skipped and Phase II resumes directly.
+//
+// p must be the previously solved problem extended by trailing columns
+// only: the first oldN objective coefficients, every constraint's first
+// oldN coefficients, all relations, and all right-hand sides must be
+// unchanged (this is a contract, not something AppendSolve can verify
+// cheaply). Violating it produces results for a problem that was never
+// posed. AppendSolve returns an error — and the caller must fall back
+// to a full SolveWith — when the solver is not hot (no prior optimal
+// solve, or an intervening load), the row structure changed, or the
+// re-optimized point fails a feasibility audit against p's raw data
+// (the audit bounds the numerical drift a long append chain can
+// accumulate: a solution the raw problem rejects is never returned).
+func (s *Solver) AppendSolve(p *Problem, oldN int, opts Options) (*Solution, error) {
+	if !s.hot {
+		return nil, fmt.Errorf("lp: AppendSolve without a hot optimal tableau")
+	}
+	if oldN != s.n {
+		return nil, fmt.Errorf("lp: AppendSolve oldN %d, solver holds %d structural columns", oldN, s.n)
+	}
+	newN := p.NumVars()
+	if newN < oldN {
+		return nil, fmt.Errorf("lp: AppendSolve shrank the column set (%d -> %d)", oldN, newN)
+	}
+	// Row structure must be byte-identical to the loaded problem.
+	kept := 0
+	for _, c := range p.Constraints {
+		if math.IsInf(c.RHS, 0) {
+			continue
+		}
+		if kept >= s.m {
+			return nil, fmt.Errorf("lp: AppendSolve row count grew")
+		}
+		rel := c.Rel
+		if c.RHS < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel != s.rel[kept] {
+			return nil, fmt.Errorf("lp: AppendSolve row %d relation changed", kept)
+		}
+		kept++
+	}
+	if kept != s.m {
+		return nil, fmt.Errorf("lp: AppendSolve kept-row count %d, want %d", kept, s.m)
+	}
+
+	// Preserve the previous options' tolerances; honor the new capture
+	// request. A WarmBasis is meaningless here (the hot basis IS the
+	// warm start) and is ignored.
+	capture := s.opts.CaptureBasis || opts.CaptureBasis
+	s.opts.CaptureBasis = capture
+
+	if k := newN - oldN; k > 0 {
+		s.widen(k)
+		if err := s.appendColumns(p, oldN); err != nil {
+			s.hot = false
+			return nil, err
+		}
+	}
+
+	s.degenerate, s.dualPivots = 0, 0
+	sol, err := s.run(p, warmFeasible)
+	if err != nil {
+		s.hot = false
+		return nil, err
+	}
+	if sol.Status != Optimal {
+		// Masters only grow, so a previously feasible master cannot go
+		// infeasible and the objectives this solver serves are bounded;
+		// any non-optimal verdict off an append chain is numerical —
+		// hand the problem back for an authoritative cold solve.
+		s.hot = false
+		return nil, fmt.Errorf("lp: append re-solve unexpectedly %v", sol.Status)
+	}
+	// Audit the claimed optimum against the raw problem data: the append
+	// chain never refactorizes, so accumulated roundoff must be caught
+	// here rather than trusted.
+	if !Feasible(p, sol.X, 1e2*s.opts.Tol) {
+		s.hot = false
+		return nil, fmt.Errorf("lp: append re-solve drifted infeasible")
+	}
+	return sol, nil
+}
+
+// widen grows the tableau by k structural columns in place: every row's
+// auxiliary block (slacks, artificials, repair columns) shifts right by
+// k, the per-column bookkeeping follows, and the k new slots are left
+// for appendColumns to fill.
+func (s *Solver) widen(k int) {
+	oldTotal := s.total
+	newTotal := oldTotal + k
+
+	if cap(s.a) >= s.m*newTotal {
+		a := s.a[:s.m*newTotal]
+		// Rows move right; walking them back to front keeps every
+		// source read ahead of its destination write (copy is
+		// memmove-safe for the in-row overlaps).
+		for i := s.m - 1; i >= 0; i-- {
+			copy(a[i*newTotal+s.n+k:i*newTotal+newTotal], a[i*oldTotal+s.n:i*oldTotal+oldTotal])
+			if i > 0 {
+				copy(a[i*newTotal:i*newTotal+s.n], a[i*oldTotal:i*oldTotal+s.n])
+			}
+		}
+		s.a = a
+	} else {
+		// Allocate with headroom so an append-heavy column-generation
+		// loop widens O(log n) times, not every iteration.
+		a := make([]float64, s.m*newTotal, s.m*newTotal+s.m*newTotal/2)
+		for i := 0; i < s.m; i++ {
+			copy(a[i*newTotal:i*newTotal+s.n], s.a[i*oldTotal:i*oldTotal+s.n])
+			copy(a[i*newTotal+s.n+k:i*newTotal+newTotal], s.a[i*oldTotal+s.n:i*oldTotal+oldTotal])
+		}
+		s.a = a
+	}
+
+	growShift := func(buf []float64) []float64 {
+		if cap(buf) >= newTotal {
+			buf = buf[:newTotal]
+			copy(buf[s.n+k:newTotal], buf[s.n:oldTotal])
+			return buf
+		}
+		nb := make([]float64, newTotal, newTotal+newTotal/2)
+		copy(nb[:s.n], buf[:s.n])
+		copy(nb[s.n+k:], buf[s.n:oldTotal])
+		return nb
+	}
+	s.obj = growShift(s.obj)
+	s.z = growShift(s.z)
+	if cap(s.work) >= newTotal {
+		s.work = s.work[:newTotal]
+	} else {
+		s.work = make([]float64, newTotal, newTotal+newTotal/2)
+	}
+
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] >= s.n {
+			s.basis[i] += k
+		}
+		s.unit[i] += k
+	}
+	s.artCol += k
+	s.total = newTotal
+	s.n += k
+}
+
+// appendColumns writes the transformed coefficients and objective of
+// columns [s.n-k, s.n) — already widened into the tableau — from p's
+// raw data. Each raw column is row-scaled exactly as load would have
+// and multiplied by the implicit B⁻¹ read off the unit-origin auxiliary
+// columns, so the new entries land in the same basis representation the
+// rest of the tableau is in.
+func (s *Solver) appendColumns(p *Problem, oldN int) error {
+	raw := s.work[:s.m] // scratch: scaled raw coefficients per kept row
+	for j := oldN; j < s.n; j++ {
+		c := p.Objective[j]
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: appended objective coefficient %d is %v", j, c)
+		}
+		s.obj[j] = s.sign * c
+
+		nz := 0
+		for i := 0; i < s.m; i++ {
+			a := p.Constraints[s.orig[i]].Coeffs[j]
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("lp: appended coefficient (%d,%d) is %v", s.orig[i], j, a)
+			}
+			v := a * s.flip[i] / s.scale[i]
+			raw[i] = v
+			if v != 0 {
+				nz++
+			}
+		}
+		// ā = B⁻¹·raw, column q of B⁻¹ being the current values of row
+		// q's unit-origin auxiliary column. The paper's columns touch a
+		// handful of rows each, so the inner loop skips zero raws.
+		for r := 0; r < s.m; r++ {
+			var v float64
+			if nz > 0 {
+				row := s.a[r*s.total : (r+1)*s.total]
+				for q := 0; q < s.m; q++ {
+					if raw[q] != 0 {
+						v += row[s.unit[q]] * raw[q]
+					}
+				}
+			}
+			s.a[r*s.total+j] = v
+		}
+	}
+	return nil
+}

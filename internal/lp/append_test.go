@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cgShapedProblem draws a bounded random LP shaped like the paper's
+// restricted masters: a handful of ≤ resource rows plus one = 1
+// convexity row over nVars columns.
+func cgShapedProblem(rng *rand.Rand, nVars, nCons int) *Problem {
+	p := NewProblem(Maximize, randVec(rng, nVars, 0.1, 1))
+	for c := 0; c < nCons; c++ {
+		// RHS ≥ 5 ≥ every coefficient: any convex mix satisfies the row,
+		// so the instance is feasible by construction.
+		p.AddConstraint(randVec(rng, nVars, 0.1, 5), LE, 5+rng.Float64()*10)
+	}
+	ones := make([]float64, nVars)
+	for j := range ones {
+		ones[j] = 1
+	}
+	p.AddConstraint(ones, EQ, 1)
+	return p
+}
+
+// extendProblem returns p with k fresh columns appended to every row
+// and the objective — the incremental step of a column-generation loop.
+func extendProblem(rng *rand.Rand, p *Problem, k int) *Problem {
+	nVars := p.NumVars()
+	out := NewProblem(p.Sense, append(append([]float64(nil), p.Objective...), randVec(rng, k, 0.1, 1)...))
+	for _, con := range p.Constraints {
+		coeffs := append(append([]float64(nil), con.Coeffs...), randVec(rng, k, 0.1, 5)...)
+		if con.Rel == EQ { // keep the convexity row all-ones
+			for j := nVars; j < nVars+k; j++ {
+				coeffs[j] = 1
+			}
+		}
+		out.AddConstraint(coeffs, con.Rel, con.RHS)
+	}
+	return out
+}
+
+// TestAppendSolveMatchesCold: appending columns onto a hot tableau must
+// reach the same optimum as a cold solve of the extended problem, over
+// randomized instances and multi-step append chains.
+func TestAppendSolveMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xa99e))
+	chains := 0
+	for trial := 0; trial < 150; trial++ {
+		solver := NewSolver()
+		p := cgShapedProblem(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		sol, err := solver.SolveWith(p, Options{CaptureBasis: true})
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: base solve: %v / %+v", trial, err, sol)
+		}
+		// Chain several appends on the same hot tableau.
+		steps := 1 + rng.Intn(4)
+		for step := 0; step < steps; step++ {
+			oldN := p.NumVars()
+			p = extendProblem(rng, p, 1+rng.Intn(5))
+			got, err := solver.AppendSolve(p, oldN, Options{})
+			if err != nil {
+				t.Fatalf("trial %d step %d: append solve: %v", trial, step, err)
+			}
+			ref, err := NewSolver().Solve(p)
+			if err != nil || ref.Status != Optimal {
+				t.Fatalf("trial %d step %d: cold solve: %v", trial, step, err)
+			}
+			scale := 1 + math.Abs(ref.Objective)
+			if math.Abs(got.Objective-ref.Objective) > 1e-7*scale {
+				t.Fatalf("trial %d step %d: append objective %v vs cold %v",
+					trial, step, got.Objective, ref.Objective)
+			}
+			if v := Verify(p, got.X, 1e-7); len(v) != 0 {
+				t.Fatalf("trial %d step %d: append solution infeasible: %v", trial, step, v)
+			}
+			for i := range ref.Dual {
+				if math.Abs(got.Dual[i]-ref.Dual[i]) > 1e-6*(1+math.Abs(ref.Dual[i])) {
+					t.Fatalf("trial %d step %d: dual[%d] %v vs cold %v",
+						trial, step, i, got.Dual[i], ref.Dual[i])
+				}
+			}
+			chains++
+		}
+	}
+	if chains == 0 {
+		t.Fatal("no append chain ever ran")
+	}
+}
+
+// TestAppendSolveMinimize covers the Minimize sense (the min-cost
+// master): appended columns must carry the sign-adjusted objective.
+func TestAppendSolveMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x317))
+	for trial := 0; trial < 60; trial++ {
+		solver := NewSolver()
+		nVars := 2 + rng.Intn(5)
+		p := NewProblem(Minimize, randVec(rng, nVars, 0.1, 2))
+		p.AddConstraint(randVec(rng, nVars, 0.2, 2), GE, 0.5+rng.Float64())
+		ones := make([]float64, nVars)
+		for j := range ones {
+			ones[j] = 1
+		}
+		p.AddConstraint(ones, EQ, 1)
+		sol, err := solver.SolveWith(p, Options{CaptureBasis: true})
+		if err != nil || sol.Status != Optimal {
+			continue // a too-tight GE row can be infeasible; skip
+		}
+		oldN := p.NumVars()
+		ext := NewProblem(Minimize, append(append([]float64(nil), p.Objective...), randVec(rng, 2, 0.1, 2)...))
+		for _, con := range p.Constraints {
+			coeffs := append(append([]float64(nil), con.Coeffs...), randVec(rng, 2, 0.2, 2)...)
+			if con.Rel == EQ {
+				coeffs[oldN], coeffs[oldN+1] = 1, 1
+			}
+			ext.AddConstraint(coeffs, con.Rel, con.RHS)
+		}
+		got, err := solver.AppendSolve(ext, oldN, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: append: %v", trial, err)
+		}
+		ref := mustSolve(t, ext)
+		if math.Abs(got.Objective-ref.Objective) > 1e-7*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("trial %d: append min %v vs cold %v", trial, got.Objective, ref.Objective)
+		}
+	}
+}
+
+// TestAppendSolveGuards: a cold solver, a shrunk column set, and a
+// changed row structure must all be refused (the caller then solves
+// cold) instead of producing answers for a problem that was never
+// loaded.
+func TestAppendSolveGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := cgShapedProblem(rng, 4, 2)
+
+	if _, err := NewSolver().AppendSolve(p, 4, Options{}); err == nil {
+		t.Error("append on a cold solver accepted")
+	}
+
+	solver := NewSolver()
+	if _, err := solver.SolveWith(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ext := extendProblem(rng, p, 2)
+	if _, err := solver.AppendSolve(ext, 3, Options{}); err == nil {
+		t.Error("wrong oldN accepted")
+	}
+	if _, err := solver.AppendSolve(p, 6, Options{}); err == nil {
+		t.Error("shrunk column set accepted")
+	}
+	bad := extendProblem(rng, p, 1)
+	bad.Constraints[0].Rel = GE
+	if _, err := solver.AppendSolve(bad, p.NumVars(), Options{}); err == nil {
+		t.Error("changed row relation accepted")
+	}
+}
+
+// TestAppendSolveAfterWarmStart: the append path must compose with a
+// warm-started first solve (the resolve regime: install basis, then
+// keep appending CG columns onto the hot tableau).
+func TestAppendSolveAfterWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbeef))
+	solver := NewSolver()
+	p := cgShapedProblem(rng, 5, 3)
+	first, err := solver.SolveWith(p, Options{CaptureBasis: true})
+	if err != nil || first.Status != Optimal {
+		t.Fatal(err)
+	}
+	warm, err := solver.SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil || !warm.WarmStarted {
+		t.Fatalf("warm restart failed: %v %+v", err, warm)
+	}
+	oldN := p.NumVars()
+	p = extendProblem(rng, p, 3)
+	got, err := solver.AppendSolve(p, oldN, Options{})
+	if err != nil {
+		t.Fatalf("append after warm start: %v", err)
+	}
+	ref := mustSolve(t, p)
+	if math.Abs(got.Objective-ref.Objective) > 1e-7*(1+math.Abs(ref.Objective)) {
+		t.Fatalf("append %v vs cold %v", got.Objective, ref.Objective)
+	}
+}
+
+// TestDualSimplexRepair: shrinking only the right-hand sides leaves the
+// old optimal basis dual feasible but primal infeasible — exactly the
+// dual-simplex regime. The warm solve must engage it (DualPivots > 0
+// on at least some trials), skip Phase I, and still match cold solves.
+func TestDualSimplexRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd0a1))
+	solver := NewSolver()
+	dualRepaired := 0
+	for trial := 0; trial < 200; trial++ {
+		nVars := 2 + rng.Intn(5)
+		p := NewProblem(Maximize, randVec(rng, nVars, 1, 10))
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			p.AddConstraint(randVec(rng, nVars, 0.5, 5), LE, 5+rng.Float64()*20)
+		}
+		cold, err := solver.SolveWith(p, Options{CaptureBasis: true})
+		if err != nil || cold.Status != Optimal {
+			continue
+		}
+		pert := NewProblem(p.Sense, p.Objective)
+		for _, con := range p.Constraints {
+			pert.AddConstraint(con.Coeffs, con.Rel, con.RHS*(0.2+rng.Float64()*0.5))
+		}
+		warm, err := solver.SolveWith(pert, Options{WarmBasis: cold.Basis})
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		ref, err := NewSolver().Solve(pert)
+		if err != nil {
+			t.Fatalf("trial %d: cold: %v", trial, err)
+		}
+		if warm.Status != ref.Status {
+			t.Fatalf("trial %d: warm %v vs cold %v", trial, warm.Status, ref.Status)
+		}
+		if warm.Status == Optimal {
+			if math.Abs(warm.Objective-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+				t.Fatalf("trial %d: warm %v vs cold %v", trial, warm.Objective, ref.Objective)
+			}
+		}
+		if warm.DualPivots > 0 {
+			dualRepaired++
+		}
+	}
+	if dualRepaired == 0 {
+		t.Fatal("no trial ever used dual-simplex repair; the path is dead")
+	}
+}

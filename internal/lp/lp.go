@@ -204,9 +204,15 @@ type Solution struct {
 	// WarmStarted reports that the solve re-installed Options.WarmBasis
 	// (either outright feasible, or repaired by a short Phase I).
 	WarmStarted bool
-	// PhaseISkipped reports the re-installed basis was primal feasible
-	// for the perturbed coefficients, so Phase I was skipped entirely.
+	// PhaseISkipped reports Phase I was skipped entirely: the
+	// re-installed basis was primal feasible for the perturbed
+	// coefficients, or dual-simplex pivots restored its feasibility
+	// (DualPivots > 0 distinguishes the latter).
 	PhaseISkipped bool
+	// DualPivots counts dual-simplex repair pivots: a warm basis that
+	// drifted primal infeasible but stayed dual feasible is restored by
+	// dual pivots instead of Phase I. Zero when the repair never ran.
+	DualPivots int
 }
 
 // Value returns the objective value of x under the problem's objective,

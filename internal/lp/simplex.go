@@ -107,6 +107,12 @@ type Solver struct {
 	rel   []Relation
 	orig  []int // kept row → original constraint index
 	basis []int // basis[i] = column basic in row i
+	// unit[i] is the auxiliary column that entered the tableau as +eᵢ
+	// (the slack of a ≤ row, the artificial of a ≥/= row). Its current
+	// values are therefore the i-th column of the accumulated row
+	// transform — the implicit B⁻¹ the incremental column append
+	// (AppendSolve) multiplies new raw columns by.
+	unit []int
 
 	obj  []float64 // phase-2 objective over all columns (maximization form)
 	z    []float64 // reduced-cost row workspace
@@ -116,6 +122,13 @@ type Solver struct {
 
 	iters      int
 	degenerate int // consecutive degenerate pivots
+	dualPivots int // dual-simplex repair pivots this solve
+
+	// hot marks the tableau as holding an optimal basis for the problem
+	// of the last SolveWith/AppendSolve on this Solver — the state
+	// AppendSolve continues from. Any load (and any non-optimal outcome)
+	// clears it.
+	hot bool
 }
 
 // NewSolver returns a reusable Solver with default options.
@@ -146,6 +159,8 @@ func (s *Solver) SolveWith(p *Problem, opts Options) (*Solution, error) {
 		switch s.installBasis(opts.WarmBasis) {
 		case installFeasible:
 			sol, _ = s.run(p, warmFeasible)
+		case installDual:
+			sol, _ = s.run(p, warmDual)
 		case installRepaired:
 			sol, _ = s.run(p, warmRepaired)
 		case installFailed:
@@ -168,13 +183,16 @@ func (s *Solver) SolveWith(p *Problem, opts Options) (*Solution, error) {
 }
 
 // start describes how run begins: cold (all-slack basis, full Phase I),
-// warm with a feasible re-installed basis (Phase I skipped), or warm
-// with a repaired basis (short Phase I from the near-feasible point).
+// warm with a feasible re-installed basis (Phase I skipped), warm with a
+// basis made feasible again by dual-simplex pivots (Phase I skipped),
+// or warm with a repaired basis (short Phase I from the near-feasible
+// point).
 type start int
 
 const (
 	coldStart start = iota
 	warmFeasible
+	warmDual
 	warmRepaired
 )
 
@@ -224,7 +242,8 @@ func (s *Solver) load(p *Problem, opts Options) {
 	s.total = n + nSlack + nArt + s.nRepair
 	s.artCol = n + nSlack
 	s.opts = opts.withDefaults(m, n)
-	s.iters, s.degenerate = 0, 0
+	s.iters, s.degenerate, s.dualPivots = 0, 0, 0
+	s.hot = false
 
 	s.a = grow(s.a, m*s.total)
 	s.b = grow(s.b, m)
@@ -236,6 +255,7 @@ func (s *Solver) load(p *Problem, opts Options) {
 	s.obj = grow(s.obj, s.total)
 	s.z = grow(s.z, s.total)
 	s.work = grow(s.work, s.total)
+	s.unit = grow(s.unit, m)
 
 	// Second pass: fill rows.
 	slack, art := n, s.artCol
@@ -285,16 +305,19 @@ func (s *Solver) load(p *Problem, opts Options) {
 		case LE:
 			row[slack] = 1
 			s.basis[i] = slack
+			s.unit[i] = slack
 			slack++
 		case GE:
 			row[slack] = -1
 			slack++
 			row[art] = 1
 			s.basis[i] = art
+			s.unit[i] = art
 			art++
 		case EQ:
 			row[art] = 1
 			s.basis[i] = art
+			s.unit[i] = art
 			art++
 		}
 		i++
@@ -312,14 +335,16 @@ func (s *Solver) load(p *Problem, opts Options) {
 
 // run executes both phases and extracts the solution. A warmFeasible
 // start skips Phase I (the re-installed basis is already a BFS); a
-// warmRepaired start runs Phase I, but from the repaired basis — a few
-// pivots to clear the violated rows instead of a cold restart.
+// warmDual start skips it too (dual-simplex pivots already restored
+// primal feasibility); a warmRepaired start runs Phase I, but from the
+// repaired basis — a few pivots to clear the violated rows instead of a
+// cold restart.
 func (s *Solver) run(p *Problem, from start) (*Solution, error) {
 	tol := s.opts.Tol
 
 	runPhase1 := s.nArt > 0
 	switch from {
-	case warmFeasible:
+	case warmFeasible, warmDual:
 		runPhase1 = false
 	case warmRepaired:
 		runPhase1 = true
@@ -376,6 +401,7 @@ func (s *Solver) run(p *Problem, from start) (*Solution, error) {
 	if s.opts.CaptureBasis || s.opts.WarmBasis != nil {
 		basis = s.captureBasis()
 	}
+	s.hot = true
 	return &Solution{
 		Status:        Optimal,
 		X:             x,
@@ -384,7 +410,8 @@ func (s *Solver) run(p *Problem, from start) (*Solution, error) {
 		Iterations:    s.iters,
 		Basis:         basis,
 		WarmStarted:   from != coldStart,
-		PhaseISkipped: from == warmFeasible,
+		PhaseISkipped: from == warmFeasible || from == warmDual,
+		DualPivots:    s.dualPivots,
 	}, nil
 }
 

@@ -122,11 +122,20 @@ const (
 	// installFeasible: the basis is a BFS of the perturbed problem.
 	// Phase I can be skipped entirely.
 	installFeasible
+	// installDual: the basis drifted primal infeasible but stayed dual
+	// feasible; dual-simplex pivots restored primal feasibility, so
+	// Phase I is skipped and Phase II starts at (usually) the optimum.
+	installDual
 	// installRepaired: the basis went primal infeasible; the violated
 	// rows were flipped onto repair columns, leaving a valid BFS of the
 	// Phase I problem a few pivots from feasibility.
 	installRepaired
 )
+
+// dualPivotTol is the minimum magnitude of a dual-simplex pivot element.
+// Smaller entries make 1/|pivot| amplification unacceptable; rather than
+// accept them, the repair bails out and the solve falls back cold.
+const dualPivotTol = 1e-6
 
 // installBasis re-expresses the freshly loaded tableau in terms of a
 // prior basis by one Gauss–Jordan pivot per basic column, choosing the
@@ -173,19 +182,80 @@ func (s *Solver) installBasis(b *Basis) installResult {
 	}
 
 	ftol := s.opts.Tol * (1 + norm1(s.b[:s.m]))
-	repairCol := s.artCol + s.nArt
-	repaired := false
+
+	// Classify the re-installed point before mutating anything: rows
+	// with negative RHS are primal violations; a basic artificial away
+	// from zero means a GE/EQ row the old basis no longer satisfies
+	// (its own column already carries +1 there and the Phase I
+	// objective already penalizes it, so that row needs no flip — just
+	// Phase I).
+	violated, artAway := false, false
 	for i := 0; i < s.m; i++ {
-		violated := s.b[i] < -ftol
-		if !violated && s.basis[i] >= s.artCol && s.b[i] > ftol {
-			// A basic artificial away from zero: the old basis does not
-			// satisfy this (GE/EQ) row anymore. Its own column already
-			// carries +1 here and the Phase I objective already
-			// penalizes it, so the row needs no flip — just Phase I.
-			repaired = true
-			continue
+		if s.b[i] < -ftol {
+			violated = true
+		} else if s.basis[i] >= s.artCol && s.b[i] > ftol {
+			artAway = true
 		}
-		if !violated {
+	}
+	if !violated && !artAway {
+		for i := 0; i < s.m; i++ {
+			if s.b[i] < 0 {
+				s.b[i] = 0
+			}
+		}
+		return installFeasible
+	}
+
+	// Dual-simplex repair: when the drift left the basis dual feasible
+	// for the new objective (every phase-2 reduced cost ≤ tol), dual
+	// pivots walk back to primal feasibility along optimal bases — far
+	// fewer pivots than a Phase I restart, and Phase II then usually
+	// terminates immediately. Only attempted when no basic artificial
+	// sits away from zero (dual pivots cannot drive those out: the
+	// entering-column scan excludes artificials).
+	if !artAway {
+		z := s.z
+		copy(z, s.obj)
+		for i, col := range s.basis {
+			if z[col] != 0 {
+				c := z[col]
+				row := s.a[i*s.total : (i+1)*s.total]
+				for j := range z {
+					z[j] -= c * row[j]
+				}
+			}
+		}
+		dualFeasible := true
+		for j := 0; j < s.artCol; j++ {
+			if z[j] > s.opts.Tol {
+				dualFeasible = false
+				break
+			}
+		}
+		if dualFeasible {
+			if s.dualSimplex(z, ftol) {
+				// The pivots fixed every negative RHS, but a basic
+				// artificial sitting AT zero before them may have been
+				// pushed positive (its row's RHS moves with every
+				// pivot) — that is a constraint violation Phase II
+				// cannot repair (artificials never re-enter). Accept
+				// the repair only if no basic artificial drifted.
+				for i := 0; i < s.m; i++ {
+					if s.basis[i] >= s.artCol && s.b[i] > ftol {
+						return installFailed
+					}
+				}
+				return installDual
+			}
+			// The tableau is dirty after partial dual pivots; reload
+			// and solve cold.
+			return installFailed
+		}
+	}
+
+	repairCol := s.artCol + s.nArt
+	for i := 0; i < s.m; i++ {
+		if s.b[i] >= -ftol {
 			if s.b[i] < 0 {
 				s.b[i] = 0
 			}
@@ -205,10 +275,56 @@ func (s *Solver) installBasis(b *Basis) installResult {
 		s.b[i] = -s.b[i]
 		row[repairCol+i] = 1
 		s.basis[i] = repairCol + i
-		repaired = true
 	}
-	if repaired {
-		return installRepaired
+	return installRepaired
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis:
+// while some RHS is negative, the most-violated row leaves and the
+// column minimizing |z_j/a_ij| over decisively negative a_ij enters,
+// which keeps every reduced cost ≤ 0. Returns false — leaving the
+// tableau dirty, so the caller must reload and solve cold — when no
+// eligible pivot exists (the problem may be infeasible, but that
+// verdict is left to the authoritative cold path) or the iteration cap
+// is hit.
+func (s *Solver) dualSimplex(z []float64, ftol float64) bool {
+	for {
+		if s.iters >= s.opts.MaxIter {
+			return false
+		}
+		leave, worst := -1, -ftol
+		for i := 0; i < s.m; i++ {
+			if s.b[i] < worst {
+				leave, worst = i, s.b[i]
+			}
+		}
+		if leave < 0 {
+			for i := 0; i < s.m; i++ {
+				if s.b[i] < 0 {
+					s.b[i] = 0
+				}
+			}
+			return true
+		}
+		row := s.a[leave*s.total : (leave+1)*s.total]
+		enter, best := -1, 0.0
+		for j := 0; j < s.artCol; j++ {
+			aij := row[j]
+			if aij >= -dualPivotTol {
+				continue
+			}
+			// z[j] ≤ tol, aij < 0: ratio ≥ ~0 measures how much dual
+			// slack the pivot burns; the minimum keeps z ≤ 0 everywhere.
+			ratio := z[j] / aij
+			if enter < 0 || ratio < best {
+				enter, best = j, ratio
+			}
+		}
+		if enter < 0 {
+			return false
+		}
+		s.pivot(leave, enter, z)
+		s.iters++
+		s.dualPivots++
 	}
-	return installFeasible
 }
