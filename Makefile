@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test fuzz-smoke bench-smoke bench ci
+.PHONY: all build vet fmt-check test fuzz-smoke bench-smoke bench run-dmcd ci
 
 all: build vet fmt-check test
 
@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSolveSmallLP$$' -fuzztime=$(FUZZTIME) ./internal/lp
 	$(GO) test -run='^$$' -fuzz='^FuzzPruner$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadNetwork$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz='^FuzzSolveRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadSimulation$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # One iteration of every benchmark: proves they run, not how fast.
@@ -54,5 +55,11 @@ bench-compare:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json \
 			$(if $(BENCH_WRITE),-write $(BENCH_WRITE),)
+
+# The online solver daemon (cmd/dmcd) on its default port; override
+# DMCD_FLAGS for address/shard/queue tuning.
+DMCD_FLAGS ?= -addr :7117
+run-dmcd:
+	$(GO) run ./cmd/dmcd $(DMCD_FLAGS)
 
 ci: all fuzz-smoke bench-smoke

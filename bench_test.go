@@ -6,8 +6,15 @@
 package dmc_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,6 +24,7 @@ import (
 	"dmc/internal/experiments"
 	"dmc/internal/lp"
 	"dmc/internal/netsim"
+	"dmc/internal/scenario"
 	"dmc/internal/sched"
 )
 
@@ -589,6 +597,136 @@ func BenchmarkLPLargeAspect(b *testing.B) {
 				if _, err := lp.Solve(prob); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// serveFleetBodies pre-marshals /v1/solve request bodies for a drifting
+// fleet: rounds × size wire requests over the same session IDs.
+func serveFleetBodies(fleets [][]*dmc.Network) [][][]byte {
+	out := make([][][]byte, len(fleets))
+	for r, fleet := range fleets {
+		out[r] = make([][]byte, len(fleet))
+		for i, n := range fleet {
+			buf, err := json.Marshal(scenario.SolveRequest{
+				Solve:     scenario.Solve{Network: scenario.FromNetwork(n)},
+				SessionID: fmt.Sprintf("sat-%05d", i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			out[r][i] = buf
+		}
+	}
+	return out
+}
+
+// serveClient keeps enough idle connections for a saturating client
+// fleet — http.DefaultTransport caps idle conns per host at 2, which
+// would put a TCP handshake on nearly every request.
+var serveClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 256,
+}}
+
+// serveSweep posts one whole fleet round to the daemon from bounded
+// concurrent clients, failing on any non-200 (a 429 means admission
+// dropped a session).
+func serveSweep(url string, bodies [][]byte) error {
+	workers := 64
+	if len(bodies) < workers {
+		workers = len(bodies)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(bodies); i += workers {
+				resp, err := serveClient.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[w] = fmt.Errorf("session %d: status %d (a 429 means admission dropped a session)", i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// BenchmarkServeSaturation measures the daemon under fleet re-solve
+// sweeps (one whole drifting fleet round per op) against the same
+// sweeps on the library's WarmPool directly, in two regimes. sessions=64
+// is CG-scale (20 paths × 4 transmissions per session): per-solve work
+// dominates, and the daemon/library per-op ratio is the serving tax —
+// HTTP, wave coalescing, and session registry on top of identical keyed
+// warm solves; within 2× is the acceptance bar. sessions=10240 is the
+// admission sweep (tiny dense solves, transport-bound): its artifact is
+// that backpressure never drops a session — any 429 fails the
+// benchmark. Gated critical in scripts/benchcmp.
+func BenchmarkServeSaturation(b *testing.B) {
+	for _, size := range []struct{ sessions, paths, trans, rounds int }{
+		{64, 20, 4, 8},
+		{10240, 3, 2, 4},
+	} {
+		fleets := solveManyFleet(size.paths, size.trans, size.sessions, size.rounds)
+
+		b.Run(fmt.Sprintf("sessions=%d/library", size.sessions), func(b *testing.B) {
+			pool := dmc.NewWarmPool()
+			if _, err := pool.SolveMany(fleets[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.SolveMany(fleets[i%len(fleets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size.sessions)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
+
+		b.Run(fmt.Sprintf("sessions=%d/daemon", size.sessions), func(b *testing.B) {
+			bodies := serveFleetBodies(fleets)
+			srv := dmc.NewServer(dmc.ServeConfig{})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			url := ts.URL + "/v1/solve"
+
+			if err := serveSweep(url, bodies[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := serveSweep(url, bodies[i%len(bodies)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(size.sessions)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+			m := srv.Metrics()
+			var p99, rejected float64
+			for _, sm := range m.Shards {
+				if sm.P99Ms > p99 {
+					p99 = sm.P99Ms
+				}
+				rejected += float64(sm.Rejected)
+			}
+			b.ReportMetric(p99, "p99_ms")
+			if rejected > 0 {
+				b.Fatalf("%v sessions rejected by admission control", rejected)
+			}
+			if n := srv.Sessions(); n != size.sessions {
+				b.Fatalf("daemon tracks %d sessions, want %d", n, size.sessions)
 			}
 		})
 	}

@@ -1,0 +1,106 @@
+// Command dmcd is the online solver daemon: a long-lived HTTP/JSON
+// service answering deadline-aware multipath optimization requests over
+// sharded warm-solver pools, so a fleet of sessions under drifting
+// estimates re-solves incrementally instead of from scratch.
+//
+// Usage:
+//
+//	dmcd -addr :7117
+//	dmcd -addr :7117 -shards 4 -batch-window 500us -queue 2048
+//
+// API (JSON bodies; schema in internal/scenario):
+//
+//	POST   /v1/solve        {"network": {...}, "objective": "quality|mincost|random",
+//	                         "min_quality": 0.95, "timeout": {...},
+//	                         "session_id": "s1", "estimator": true}
+//	POST   /v1/observe      {"session_id": "s1", "paths": [{"path": 0, "sent": 100,
+//	                         "lost": 3, "rtt_ms": [42.1]}]}
+//	DELETE /v1/session/{id}
+//	GET    /metrics
+//	GET    /healthz
+//
+// A session_id pins requests to a session-keyed warm solver (LP basis
+// and column-pool affinity across re-solves); "estimator": true attaches
+// a §VIII-A estimator feed that /v1/observe measurements drive, warm
+// re-solving only when the estimates drift. A full shard queue answers
+// 429 with a Retry-After hint. SIGINT/SIGTERM shut down gracefully:
+// admitted solves drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmc/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dmcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dmcd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":7117", "listen address")
+		shards      = fs.Int("shards", 0, "warm-pool shards (0 = GOMAXPROCS)")
+		batchWindow = fs.Duration("batch-window", 0, "wave coalescing window (0 = 500µs, negative = none)")
+		maxBatch    = fs.Int("max-batch", 0, "max solves per wave (0 = 256)")
+		queue       = fs.Int("queue", 0, "admitted-task queue bound per shard (0 = 1024)")
+		estTol      = fs.Float64("est-tol", 0, "estimator re-solve drift tolerance (0 = adaptor default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Shards:          *shards,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		MaxQueue:        *queue,
+		EstimatorRelTol: *estTol,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dmcd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Stop accepting, let in-flight HTTP requests finish, then drain the
+	// solver waves.
+	fmt.Fprintln(stdout, "dmcd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

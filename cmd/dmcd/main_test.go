@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe strings buffer for run's stdout.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+const tableIIISolve = `{"network": {
+	"rate_mbps": 90, "lifetime_ms": 800,
+	"paths": [
+		{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+		{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+	]
+}, "session_id": "boot"}`
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port,
+// solves the paper's Table III scenario over HTTP, and checks a context
+// cancellation shuts it down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "1"}, &out)
+	}()
+
+	// Wait for the listen line to learn the port.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "dmcd: listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(tableIIISolve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/solve status %d: %s", resp.StatusCode, body)
+	}
+	// Table III optimum: Q = 93.33%.
+	if !strings.Contains(body.String(), `"quality":0.93333`) {
+		t.Errorf("solve response missing Table III quality: %s", body)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error on shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown log line; output: %q", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, &out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -48,6 +48,11 @@
 // Estimation: NewAdaptor maintains live loss/delay estimates (§VIII-A)
 // and re-solves when they drift.
 //
+// Serving: NewServer runs the online solver service behind cmd/dmcd —
+// sharded WarmPools answering session-keyed HTTP/JSON solve requests,
+// with request coalescing into batched solve waves, per-session
+// estimator feeds, admission control, and per-shard metrics.
+//
 // The underlying implementations live in internal/ packages; this package
 // re-exports the supported surface via type aliases, so the types here
 // are identical to the internal ones.
@@ -63,6 +68,7 @@ import (
 	"dmc/internal/netsim"
 	"dmc/internal/proto"
 	"dmc/internal/sched"
+	"dmc/internal/serve"
 )
 
 // Bandwidth units in bits per second.
@@ -108,9 +114,10 @@ type (
 	// concurrent use.
 	TimeoutCache = core.TimeoutCache
 	// WarmPool shares incremental re-solve state (column tables, CG
-	// pools, LP bases) across SolveMany workers: a striped, shape-keyed
-	// pool of warm Solvers for fleet-wide re-solve storms. Safe for
-	// concurrent use; see NewWarmPool.
+	// pools, LP bases) across fleet re-solves: a striped, shape-keyed
+	// pool of warm Solvers with positional (SolveMany, SolveManyMinCost,
+	// SolveManyRandom) and session-keyed (SolveSession, DropSession)
+	// entry points. Safe for concurrent use; see NewWarmPool.
 	WarmPool = core.WarmPool
 	// SolveStats records which solve core ran (dense enumeration,
 	// dominance-pruned dense, or column generation) and what it cost.
@@ -202,6 +209,25 @@ type (
 	SessionResult = proto.Result
 )
 
+// Serving (the cmd/dmcd online solver service).
+type (
+	// ServeConfig tunes a served solver fleet: shard count, wave
+	// coalescing window and batch cap, admission queue bound, and the
+	// estimator feeds' drift tolerance. The zero value selects
+	// production defaults.
+	ServeConfig = serve.Config
+	// Server is the online solver service: sharded WarmPools answering
+	// session-keyed solve/observe requests over HTTP/JSON, with
+	// admission control and graceful drain on Close.
+	Server = serve.Server
+	// ServeMetrics is the /metrics document: uptime, live sessions, and
+	// per-shard counters.
+	ServeMetrics = serve.Metrics
+	// ShardMetrics is one shard's /metrics entry: solves, waves, warm
+	// hit rate, rejections, solves/sec, and p50/p99 latency.
+	ShardMetrics = serve.ShardMetrics
+)
+
 // Estimation (§VIII-A).
 type (
 	// Adaptor tracks live estimates and re-solves on drift.
@@ -257,13 +283,18 @@ func NewTimeoutCache() *TimeoutCache { return core.NewTimeoutCache() }
 // nil. Safe for concurrent use.
 func SolveMany(nets []*Network) ([]*Solution, error) { return core.SolveMany(nets) }
 
-// NewWarmPool returns an empty shared warm-solver pool. Its SolveMany
-// method is the incremental counterpart of the package-level SolveMany:
-// each worker re-solves on a pooled Solver whose warm state (column
-// tables, CG pool, LP basis) was primed by earlier batches of the same
-// network shapes — the fleet-wide analogue of Solver.Resolve, with the
-// same result-invalidation contract (a batch's Solutions are valid
-// until the next SolveMany on the same pool).
+// NewWarmPool returns an empty shared warm-solver pool with two kinds
+// of entry point. The positional batch methods (SolveMany,
+// SolveManyMinCost, SolveManyRandom) are the incremental counterparts
+// of the package-level SolveMany: batch slot i re-solves on the solver
+// that served slot i last time, so stable fleet orderings stay warm.
+// The session-keyed methods (SolveSession, SolveSessionMinCost,
+// SolveSessionRandom, DropSession) pin a caller-supplied key to its own
+// warm solver, keeping basis and column-pool affinity as the fleet
+// reorders, grows, and shrinks around it. Both share the
+// Solver.Resolve result-invalidation contract: a Solution's slices are
+// valid until the next solve that reuses its solver (same positional
+// slot, or same session key).
 func NewWarmPool() *WarmPool { return core.NewWarmPool() }
 
 // SolveMinCost minimizes cost subject to a quality floor (§VI-A),
@@ -357,6 +388,12 @@ func LinksFromNetwork(n *Network, queueLimit int) []LinkConfig {
 
 // NewAdaptor wraps a base network with live estimators (§VIII-A).
 func NewAdaptor(base *Network) (*Adaptor, error) { return estimate.NewAdaptor(base) }
+
+// NewServer starts the online solver service (sharded WarmPools, wave
+// coalescing, estimator feeds, admission control). Serve its Handler
+// over HTTP — cmd/dmcd is the ready-made binary — and Close it to drain
+// gracefully.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // SolveQualityLoadAware solves the §IX-A variant where path delay and
 // loss respond to the solution's own traffic (non-linear, fixed-point

@@ -1,9 +1,13 @@
 package dmc_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -259,5 +263,48 @@ func TestFacadeLinkDirectUse(t *testing.T) {
 	sim.Run()
 	if got != 1 {
 		t.Errorf("delivered %d", got)
+	}
+}
+
+// TestFacadeServer exercises the serving façade: NewServer over HTTP
+// with a session-keyed warm re-solve and a metrics snapshot.
+func TestFacadeServer(t *testing.T) {
+	srv := dmc.NewServer(dmc.ServeConfig{Shards: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"network": {"rate_mbps": 10, "lifetime_ms": 1000,
+		"paths": [{"bandwidth_mbps": 10, "delay_ms": 600, "loss": 0.1},
+		          {"bandwidth_mbps": 1, "delay_ms": 200}]},
+		"session_id": "facade"}`
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Result struct {
+				Quality float64 `json:"quality"`
+				Warm    bool    `json:"warm"`
+			} `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Figure 1 scenario delivers everything in time.
+		if math.Abs(out.Result.Quality-1) > 1e-9 {
+			t.Fatalf("round %d quality %v, want 1", round, out.Result.Quality)
+		}
+		if round > 0 && !out.Result.Warm {
+			t.Error("re-solve on the same session was not warm")
+		}
+	}
+
+	m := srv.Metrics()
+	if m.Sessions != 1 || len(m.Shards) != 1 || m.Shards[0].Solves != 2 {
+		t.Errorf("unexpected metrics: %+v", m)
 	}
 }

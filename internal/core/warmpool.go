@@ -13,6 +13,10 @@ import (
 // serialize its check-outs on one lock.
 const warmPoolStripes = 16
 
+// nObjectives sizes the per-objective positional sets (quality,
+// min-cost, random — the solveObjective enum).
+const nObjectives = 3
+
 // warmKey identifies the network shape a pooled warm solver was primed
 // on. A solver whose last Resolve saw the same shape re-solves warm; a
 // mismatched one transparently re-primes cold (Resolve's own guard), so
@@ -44,44 +48,71 @@ type warmStripe struct {
 	m  map[warmKey][]*Solver
 }
 
-// WarmPool shares persistent incremental re-solve state across
-// SolveMany workers: a striped, shape-keyed pool of warm Solvers. A
-// fleet of drifting networks re-solved batch after batch (the §VIII-A
-// estimator storm at fleet scale) draws, per network, a solver whose
-// retained column tables, CG pools, and LP bases match the network —
-// so every worker re-solves warm instead of cold.
+// sessionSlot is one session's persistent warm solver. The slot mutex
+// serializes solves on the same key (a Solver is not safe for concurrent
+// use); distinct keys never contend.
+type sessionSlot struct {
+	mu sync.Mutex
+	sv *Solver
+	// shape is the last solved network shape, for retiring the solver to
+	// the right stripe on DropSession.
+	shape warmKey
+	// dropped marks a slot DropSession detached while a solve was
+	// waiting on its mutex: the late solve runs on a throwaway solver.
+	dropped bool
+}
+
+// WarmPool shares persistent incremental re-solve state across fleet
+// re-solve storms: a striped, shape-keyed pool of warm Solvers, with two
+// access idioms on top of it.
 //
-// Checkout is positional first: when a batch has the same size as the
-// pool's previous batch, network i gets the solver that solved index i
-// last time — the fleet idiom keeps each drifting network at a stable
-// index, and a warm state is only genuinely warm for the network whose
-// drift trajectory primed it. Solvers that cannot be matched by
-// position (first batch, changed batch size, a concurrent batch
-// already claimed the positional set) fall back to the shape-keyed
-// stripes, where any same-shaped warm solver still saves the structural
-// work; a full mismatch just re-primes cold inside Resolve.
+// Session-keyed (SolveSession, SolveSessionMinCost, SolveSessionRandom,
+// DropSession): the caller names each session with a stable key and the
+// pool keeps one warm solver per key, so basis/column affinity survives
+// fleet reordering, adds, and drops — the online-serving idiom, where a
+// fleet is a churning set of identified sessions, not a fixed slice.
+// Distinct keys solve concurrently; calls on the same key serialize.
+//
+// Positional (SolveMany, SolveManyMinCost, SolveManyRandom): when a
+// batch has the same size as the pool's previous batch for the same
+// objective, network i gets the solver that solved index i last time —
+// the fleet-sweep idiom keeps each drifting network at a stable index,
+// and a warm state is only genuinely warm for the network whose drift
+// trajectory primed it. Solvers that cannot be matched by position
+// (first batch, changed batch size, a concurrent batch already claimed
+// the positional set) fall back to the shape-keyed stripes, where any
+// same-shaped warm solver still saves the structural work; a full
+// mismatch just re-primes cold inside Resolve.
 //
 // Within one batch each pooled solver serves at most one network
 // (checked-out solvers return to the pool only after the whole batch
 // completes), so the returned Solutions are never clobbered mid-batch.
-// They DO share storage with the pooled warm states: a later SolveMany
-// on the same pool rebuilds that storage in place, invalidating them —
-// the batch analogue of Solver.Resolve's contract. Extract what you
-// need from one batch's Solutions before issuing the next, or use the
+// They DO share storage with the pooled warm states: a later solve
+// drawing the same solver — the next SolveMany on the pool, or the next
+// SolveSession on the same key — rebuilds that storage in place,
+// invalidating them. Extract what you need from a Solution before
+// issuing the next solve that could reuse its solver, or use the
 // package-level SolveMany, which never reuses result storage.
 //
 // A WarmPool is safe for concurrent use; concurrent batches simply
 // check out disjoint solvers.
 type WarmPool struct {
-	mu    sync.Mutex
-	byIdx []*Solver // previous batch's solvers, by network index
+	mu sync.Mutex
+	// byIdx holds the previous batch's solvers by network index, one
+	// positional set per objective (reusing a quality-warm solver for a
+	// min-cost batch would always re-prime cold: the resolve state is
+	// objective-keyed).
+	byIdx [nObjectives][]*Solver
 
 	stripes [warmPoolStripes]warmStripe
+
+	smu      sync.Mutex
+	sessions map[string]*sessionSlot
 }
 
 // NewWarmPool returns an empty warm solver pool.
 func NewWarmPool() *WarmPool {
-	p := &WarmPool{}
+	p := &WarmPool{sessions: make(map[string]*sessionSlot)}
 	for i := range p.stripes {
 		p.stripes[i].m = make(map[warmKey][]*Solver)
 	}
@@ -119,11 +150,45 @@ func (p *WarmPool) release(k warmKey, s *Solver) {
 // nil. See the WarmPool type comment for the result-invalidation
 // contract.
 func (p *WarmPool) SolveMany(nets []*Network) ([]*Solution, error) {
-	// Claim the positional solver set when the batch shape allows it.
+	return p.solveMany(objQuality, nets, func(sv *Solver, i int) (*Solution, error) {
+		return sv.Resolve(nets[i])
+	})
+}
+
+// SolveManyMinCost is SolveMany for the §VI-A cost minimization: every
+// network solves to its own quality floor (minQuality[i], one entry per
+// network) on a pooled warm solver's incremental path
+// (Solver.ResolveMinCost). An unattainable floor fails that entry with
+// ErrInfeasible like the one-shot solve would.
+func (p *WarmPool) SolveManyMinCost(nets []*Network, minQuality []float64) ([]*Solution, error) {
+	if len(minQuality) != len(nets) {
+		return nil, fmt.Errorf("core: %d quality floors for %d networks", len(minQuality), len(nets))
+	}
+	return p.solveMany(objMinCost, nets, func(sv *Solver, i int) (*Solution, error) {
+		return sv.ResolveMinCost(nets[i], minQuality[i])
+	})
+}
+
+// SolveManyRandom is SolveMany for the §VI-B random-delay model: every
+// network solves with its own timeout table (to[i], one entry per
+// network) on a pooled warm solver's incremental path
+// (Solver.ResolveQualityRandom).
+func (p *WarmPool) SolveManyRandom(nets []*Network, to []*Timeouts) ([]*Solution, error) {
+	if len(to) != len(nets) {
+		return nil, fmt.Errorf("core: %d timeout tables for %d networks", len(to), len(nets))
+	}
+	return p.solveMany(objRandom, nets, func(sv *Solver, i int) (*Solution, error) {
+		return sv.ResolveQualityRandom(nets[i], to[i])
+	})
+}
+
+func (p *WarmPool) solveMany(obj solveObjective, nets []*Network, run func(sv *Solver, i int) (*Solution, error)) ([]*Solution, error) {
+	// Claim the objective's positional solver set when the batch shape
+	// allows it.
 	p.mu.Lock()
 	var byIdx []*Solver
-	if len(p.byIdx) == len(nets) {
-		byIdx, p.byIdx = p.byIdx, nil
+	if len(p.byIdx[obj]) == len(nets) {
+		byIdx, p.byIdx[obj] = p.byIdx[obj], nil
 	}
 	p.mu.Unlock()
 
@@ -138,7 +203,7 @@ func (p *WarmPool) SolveMany(nets []*Network) ([]*Solution, error) {
 			sv = p.acquire(keyOf(nets[i]))
 		}
 		solvers[i] = sv
-		sol, err := sv.Resolve(nets[i])
+		sol, err := run(sv, i)
 		if err != nil {
 			return fmt.Errorf("core: warm batch solve %d: %w", i, err)
 		}
@@ -160,8 +225,8 @@ func (p *WarmPool) SolveMany(nets []*Network) ([]*Solution, error) {
 		}
 	}
 	p.mu.Lock()
-	if p.byIdx == nil {
-		p.byIdx = solvers
+	if p.byIdx[obj] == nil {
+		p.byIdx[obj] = solvers
 		p.mu.Unlock()
 	} else {
 		p.mu.Unlock()
@@ -172,4 +237,98 @@ func (p *WarmPool) SolveMany(nets []*Network) ([]*Solution, error) {
 		}
 	}
 	return sols, err
+}
+
+// SolveSession solves the quality maximization (Eq. 10) on the warm
+// solver dedicated to the session key, creating one (seeded from the
+// shape stripes when a same-shaped solver is pooled) on first use. A
+// session re-solved under drift keeps its column tables, CG pool, and
+// LP basis across calls no matter how the surrounding fleet reorders,
+// grows, or shrinks — the keyed counterpart of SolveMany's positional
+// affinity.
+//
+// Calls on the same key serialize; distinct keys solve concurrently.
+// The returned Solution is valid until the session's next solve (it
+// shares storage with the session's warm state, exactly like
+// Solver.Resolve).
+func (p *WarmPool) SolveSession(key string, n *Network) (*Solution, error) {
+	return p.solveSession(key, keyOf(n), func(sv *Solver) (*Solution, error) {
+		return sv.Resolve(n)
+	})
+}
+
+// SolveSessionMinCost is SolveSession for the §VI-A cost minimization
+// under a quality floor (Solver.ResolveMinCost).
+func (p *WarmPool) SolveSessionMinCost(key string, n *Network, minQuality float64) (*Solution, error) {
+	return p.solveSession(key, keyOf(n), func(sv *Solver) (*Solution, error) {
+		return sv.ResolveMinCost(n, minQuality)
+	})
+}
+
+// SolveSessionRandom is SolveSession for the §VI-B random-delay model
+// with the given timeout table (Solver.ResolveQualityRandom).
+func (p *WarmPool) SolveSessionRandom(key string, n *Network, to *Timeouts) (*Solution, error) {
+	return p.solveSession(key, keyOf(n), func(sv *Solver) (*Solution, error) {
+		return sv.ResolveQualityRandom(n, to)
+	})
+}
+
+func (p *WarmPool) solveSession(key string, shape warmKey, run func(sv *Solver) (*Solution, error)) (*Solution, error) {
+	p.smu.Lock()
+	if p.sessions == nil {
+		p.sessions = make(map[string]*sessionSlot)
+	}
+	slot := p.sessions[key]
+	if slot == nil {
+		slot = &sessionSlot{}
+		p.sessions[key] = slot
+	}
+	p.smu.Unlock()
+
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.dropped {
+		// DropSession detached this slot while we waited for its mutex
+		// and already retired its solver. Solve on a throwaway solver
+		// (acquired warm when the stripes have one) that is deliberately
+		// NOT released: releasing it would let a concurrent acquire
+		// rebuild the storage the returned Solution still references.
+		return run(p.acquire(shape))
+	}
+	if slot.sv == nil {
+		slot.sv = p.acquire(shape)
+	}
+	slot.shape = shape
+	return run(slot.sv)
+}
+
+// DropSession removes the session key and retires its warm solver to
+// the shape-keyed stripes, where a future same-shaped session (keyed or
+// positional) can pick the structural state back up. Dropping a key
+// that was never solved is a no-op. Any Solution the dropped session
+// returned remains readable but stops being protected from storage
+// reuse — extract what you need before dropping.
+func (p *WarmPool) DropSession(key string) {
+	p.smu.Lock()
+	slot := p.sessions[key]
+	delete(p.sessions, key)
+	p.smu.Unlock()
+	if slot == nil {
+		return
+	}
+	slot.mu.Lock()
+	slot.dropped = true
+	sv, shape := slot.sv, slot.shape
+	slot.sv = nil
+	slot.mu.Unlock()
+	if sv != nil {
+		p.release(shape, sv)
+	}
+}
+
+// Sessions returns the number of live session keys.
+func (p *WarmPool) Sessions() int {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	return len(p.sessions)
 }

@@ -119,3 +119,285 @@ func TestWarmPoolError(t *testing.T) {
 		t.Fatalf("good-only batch failed after error batch: %v", err)
 	}
 }
+
+// TestWarmPoolMinCostMatchesCold: the min-cost fleet batch must agree
+// with independent cold SolveMinCost on both cost and quality across a
+// drifting fleet, and batches after the first must run warm.
+func TestWarmPoolMinCostMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9002, 1))
+	rounds := driftFleet(rng, 16, 3)
+	floors := make([]float64, 16)
+	pool := NewWarmPool()
+	for r, nets := range rounds {
+		for i, n := range nets {
+			// A floor below the quality optimum keeps every entry feasible;
+			// QualityUpperBound ignores bandwidth/cost so scale it down hard.
+			ub, err := QualityUpperBound(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			floors[i] = 0.5 * ub
+		}
+		sols, err := pool.SolveManyMinCost(nets, floors)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		warmed := 0
+		for i, sol := range sols {
+			ref, err := SolveMinCost(nets[i], floors[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := abs64(sol.Cost() - ref.Cost()); gap > 1e-6*(1+abs64(ref.Cost())) {
+				t.Fatalf("round %d net %d: pooled cost %v vs cold %v", r, i, sol.Cost(), ref.Cost())
+			}
+			if sol.Quality+1e-9 < floors[i] {
+				t.Fatalf("round %d net %d: quality %v below floor %v", r, i, sol.Quality, floors[i])
+			}
+			if sol.Stats.Warm {
+				warmed++
+			}
+		}
+		if r > 0 && warmed < len(nets)/2 {
+			t.Fatalf("round %d: only %d/%d min-cost solves ran warm", r, warmed, len(nets))
+		}
+	}
+}
+
+// TestWarmPoolMinCostFloorSlice: a floor slice of the wrong length is
+// rejected, not silently broadcast.
+func TestWarmPoolMinCostFloorSlice(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9002, 2))
+	nets := []*Network{diffRandomNetwork(rng, 3, 2), diffRandomNetwork(rng, 3, 2)}
+	if _, err := NewWarmPool().SolveManyMinCost(nets, []float64{0.5}); err == nil {
+		t.Fatal("want error for mismatched floor slice")
+	}
+	if _, err := NewWarmPool().SolveManyRandom(nets, []*Timeouts{nil}); err == nil {
+		t.Fatal("want error for mismatched timeout slice")
+	}
+}
+
+// TestWarmPoolRandomMatchesCold: the random-delay fleet batch must agree
+// with independent cold SolveQualityRandom across drifting timeout
+// tables, and batches after the first must run warm.
+func TestWarmPoolRandomMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9003, 1))
+	const size = 12
+	nets := make([]*Network, size)
+	tos := make([]*Timeouts, size)
+	for i := range nets {
+		nets[i] = randomDelayNetwork(rng, 2+i%3)
+	}
+	pool := NewWarmPool()
+	for r := 0; r < 4; r++ {
+		for i := range nets {
+			if r > 0 {
+				nets[i] = driftNetwork(rng, nets[i], 0.08)
+			}
+			tos[i] = randomTimeouts(rng, nets[i])
+		}
+		sols, err := pool.SolveManyRandom(nets, tos)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		warmed := 0
+		for i, sol := range sols {
+			ref, err := SolveQualityRandom(nets[i], tos[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := abs64(sol.Quality - ref.Quality); gap > 1e-6 {
+				t.Fatalf("round %d net %d: pooled %v vs cold %v", r, i, sol.Quality, ref.Quality)
+			}
+			if sol.Stats.Warm {
+				warmed++
+			}
+		}
+		if r > 0 && warmed < size/2 {
+			t.Fatalf("round %d: only %d/%d random solves ran warm", r, warmed, size)
+		}
+	}
+}
+
+// TestWarmPoolSessionAffinity: session-keyed solves must match a
+// per-session reference Resolve trajectory exactly, stay warm under
+// drift, and KEEP that warmth when the fleet reorders, grows, and
+// shrinks around them — the affinity positional checkout cannot give.
+func TestWarmPoolSessionAffinity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9004, 1))
+	pool := NewWarmPool()
+	const size = 12
+	type sess struct {
+		key string
+		net *Network
+		ref *Solver // private reference solver replaying the trajectory
+	}
+	fleet := make([]*sess, size)
+	for i := range fleet {
+		fleet[i] = &sess{
+			key: string(rune('a' + i)),
+			net: diffRandomNetwork(rng, 2+i%3, 2+i%2),
+			ref: NewSolver(),
+		}
+	}
+	solveAll := func(round int, wantWarm bool) {
+		t.Helper()
+		for _, s := range fleet {
+			sol, err := pool.SolveSession(s.key, s.net)
+			if err != nil {
+				t.Fatalf("round %d key %s: %v", round, s.key, err)
+			}
+			ref, err := s.ref.Resolve(s.net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := abs64(sol.Quality - ref.Quality); gap > 1e-6 {
+				t.Fatalf("round %d key %s: session %v vs reference %v", round, s.key, sol.Quality, ref.Quality)
+			}
+			if wantWarm && !sol.Stats.Warm {
+				t.Fatalf("round %d key %s: session solve ran cold after reorder/churn", round, s.key)
+			}
+		}
+	}
+	solveAll(0, false)
+	// Round 1: drift + solve in reversed order — keyed affinity must hold.
+	for i, j := 0, len(fleet)-1; i < j; i, j = i+1, j-1 {
+		fleet[i], fleet[j] = fleet[j], fleet[i]
+	}
+	for _, s := range fleet {
+		s.net = driftNetwork(rng, s.net, 0.08)
+	}
+	solveAll(1, true)
+	// Round 2: drop a third of the fleet, add new sessions, shuffle, and
+	// drift — the surviving sessions must still re-solve warm.
+	for i := 0; i < size/3; i++ {
+		pool.DropSession(fleet[i].key)
+	}
+	fleet = fleet[size/3:]
+	for i := 0; i < 3; i++ {
+		fleet = append(fleet, &sess{
+			key: "new-" + string(rune('0'+i)),
+			net: diffRandomNetwork(rng, 3, 2),
+			ref: NewSolver(),
+		})
+	}
+	rng.Shuffle(len(fleet), func(i, j int) { fleet[i], fleet[j] = fleet[j], fleet[i] })
+	for _, s := range fleet {
+		s.net = driftNetwork(rng, s.net, 0.08)
+	}
+	for _, s := range fleet {
+		sol, err := pool.SolveSession(s.key, s.net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := s.ref.Resolve(s.net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap := abs64(sol.Quality - ref.Quality); gap > 1e-6 {
+			t.Fatalf("post-churn key %s: session %v vs reference %v", s.key, sol.Quality, ref.Quality)
+		}
+		if len(s.key) == 1 && !sol.Stats.Warm {
+			t.Fatalf("post-churn key %s: surviving session lost its warm state", s.key)
+		}
+	}
+	if got := pool.Sessions(); got != len(fleet) {
+		t.Fatalf("Sessions() = %d, want %d", got, len(fleet))
+	}
+}
+
+// TestWarmPoolSessionObjectives: the min-cost and random session entry
+// points must agree with their cold counterparts.
+func TestWarmPoolSessionObjectives(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9004, 2))
+	pool := NewWarmPool()
+	mc := diffRandomNetwork(rng, 3, 2)
+	for r := 0; r < 3; r++ {
+		if r > 0 {
+			mc = driftNetwork(rng, mc, 0.08)
+		}
+		ub, err := QualityUpperBound(mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := pool.SolveSessionMinCost("mc", mc, 0.5*ub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := SolveMinCost(mc, 0.5*ub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap := abs64(sol.Cost() - ref.Cost()); gap > 1e-6*(1+abs64(ref.Cost())) {
+			t.Fatalf("round %d: session min-cost %v vs cold %v", r, sol.Cost(), ref.Cost())
+		}
+	}
+	rd := randomDelayNetwork(rng, 3)
+	for r := 0; r < 3; r++ {
+		if r > 0 {
+			rd = driftNetwork(rng, rd, 0.08)
+		}
+		to := randomTimeouts(rng, rd)
+		sol, err := pool.SolveSessionRandom("rd", rd, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := SolveQualityRandom(rd, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap := abs64(sol.Quality - ref.Quality); gap > 1e-6 {
+			t.Fatalf("round %d: session random %v vs cold %v", r, sol.Quality, ref.Quality)
+		}
+	}
+	if got := pool.Sessions(); got != 2 {
+		t.Fatalf("Sessions() = %d, want 2", got)
+	}
+	pool.DropSession("mc")
+	pool.DropSession("rd")
+	pool.DropSession("never-existed")
+	if got := pool.Sessions(); got != 0 {
+		t.Fatalf("Sessions() after drops = %d, want 0", got)
+	}
+}
+
+// TestWarmPoolSessionChurnRace hammers session solves, drops, and
+// re-creations on overlapping keys from several goroutines — run under
+// -race (the CI test target does) this is the data race check for the
+// keyed session map and its drop path.
+func TestWarmPoolSessionChurnRace(t *testing.T) {
+	pool := NewWarmPool()
+	keys := []string{"k0", "k1", "k2", "k3"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(0x9005, uint64(g)))
+			net := diffRandomNetwork(rng, 3, 2)
+			want, err := SolveQuality(net)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 30; i++ {
+				key := keys[rng.IntN(len(keys))]
+				switch rng.IntN(3) {
+				case 0:
+					pool.DropSession(key)
+				default:
+					sol, err := pool.SolveSession(key, net)
+					if err != nil {
+						t.Errorf("worker %d: %v", g, err)
+						return
+					}
+					if gap := abs64(sol.Quality - want.Quality); gap > 1e-6 {
+						t.Errorf("worker %d: quality %v vs %v", g, sol.Quality, want.Quality)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

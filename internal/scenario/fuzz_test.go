@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -26,6 +28,48 @@ func FuzzLoadNetwork(f *testing.F) {
 		// A successfully converted network must pass its own validation.
 		if err := net.Validate(); err != nil {
 			t.Fatalf("ToNetwork returned invalid network: %v\ninput: %s", err, input)
+		}
+	})
+}
+
+// FuzzSolveRoundTrip checks that every parse-able, valid solve request —
+// objective selector, quality floor, timeout options, session routing —
+// survives a JSON round trip losslessly: marshal(load(x)) must be a
+// fixed point. A field the marshaller drops or renames breaks daemon
+// clients silently, which is exactly what this target exists to catch.
+func FuzzSolveRoundTrip(f *testing.F) {
+	f.Add(`{"network": ` + tableIIIJSON + `}`)
+	f.Add(`{"network": ` + tableIIIJSON + `, "objective": "mincost", "min_quality": 0.95}`)
+	f.Add(`{"network": ` + tableIIIJSON + `, "objective": "random",
+		"timeout": {"grid_step_ms": 2, "refine_levels": 3, "convolution_nodes": 500}}`)
+	f.Add(`{"network": ` + tableIIIJSON + `, "session_id": "sess-1", "estimator": true}`)
+	f.Add(`{"network": {"rate_mbps": 1, "lifetime_ms": 1, "cost_bound": 3, "transmissions": 3,
+		"paths": [{"bandwidth_mbps": 1, "delay_gamma": {"loc_ms": 5, "shape": 2, "scale_ms": 1}}]}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var req SolveRequest
+		if err := Load(strings.NewReader(input), &req); err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		first, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal of loaded request failed: %v\ninput: %s", err, input)
+		}
+		var again SolveRequest
+		if err := Load(bytes.NewReader(first), &again); err != nil {
+			t.Fatalf("re-load of marshalled request failed: %v\njson: %s", err, first)
+		}
+		second, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not a fixed point:\nfirst:  %s\nsecond: %s", first, second)
+		}
+		if _, err := again.ObjectiveKind(); err != nil {
+			t.Fatalf("validated request lost its objective: %v", err)
 		}
 	})
 }

@@ -1,5 +1,6 @@
 // Package scenario defines the JSON schema shared by the CLI tools
-// (cmd/mpopt, cmd/mpsim): network descriptions, solve objectives, and
+// (cmd/mpopt, cmd/mpsim) and the solver daemon (cmd/dmcd): network
+// descriptions, solve objectives and their wire requests/responses, and
 // simulation workloads, with conversions to the core model types.
 package scenario
 
@@ -106,14 +107,208 @@ func FromNetwork(n *core.Network) Network {
 	return out
 }
 
-// Solve describes a cmd/mpopt request.
+// Solve objective selector values.
+const (
+	ObjectiveQuality = "quality"
+	ObjectiveMinCost = "mincost"
+	ObjectiveRandom  = "random"
+)
+
+// TimeoutSpec tunes the Eq. 34 timeout search of the random-delay
+// objective. Zero fields select the core defaults.
+type TimeoutSpec struct {
+	// GridStepMs is the coarse search resolution over (0, δ].
+	GridStepMs float64 `json:"grid_step_ms,omitempty"`
+	// RefineLevels is how many 10× grid refinements follow the coarse
+	// pass.
+	RefineLevels int `json:"refine_levels,omitempty"`
+	// ConvolutionNodes is the quadrature resolution for P(dᵢ+d_min ≤ t).
+	ConvolutionNodes int `json:"convolution_nodes,omitempty"`
+}
+
+// Options converts to the core search options.
+func (t TimeoutSpec) Options() core.TimeoutOptions {
+	return core.TimeoutOptions{
+		GridStep:         msToDur(t.GridStepMs),
+		RefineLevels:     t.RefineLevels,
+		ConvolutionNodes: t.ConvolutionNodes,
+	}
+}
+
+// Solve describes one optimization request (cmd/mpopt, and the body of
+// cmd/dmcd's /v1/solve inside a SolveRequest).
 type Solve struct {
 	Network Network `json:"network"`
 	// Objective is "quality" (default), "mincost", or "random" (random-
 	// delay model with optimized timeouts).
 	Objective string `json:"objective,omitempty"`
-	// MinQuality applies to the mincost objective.
+	// MinQuality is the quality floor of the mincost objective.
 	MinQuality float64 `json:"min_quality,omitempty"`
+	// Timeout tunes the random objective's Eq. 34 timeout search.
+	Timeout *TimeoutSpec `json:"timeout,omitempty"`
+}
+
+// ObjectiveKind normalizes the objective selector ("" means quality)
+// and rejects unknown values.
+func (s Solve) ObjectiveKind() (string, error) {
+	switch s.Objective {
+	case "", ObjectiveQuality:
+		return ObjectiveQuality, nil
+	case ObjectiveMinCost, ObjectiveRandom:
+		return s.Objective, nil
+	default:
+		return "", fmt.Errorf("scenario: unknown objective %q", s.Objective)
+	}
+}
+
+// Validate checks the request fields that the network conversion does
+// not cover: the objective selector, the quality floor's range, and the
+// timeout search options.
+func (s Solve) Validate() error {
+	if _, err := s.ObjectiveKind(); err != nil {
+		return err
+	}
+	if math.IsNaN(s.MinQuality) || s.MinQuality < 0 || s.MinQuality > 1 {
+		return fmt.Errorf("scenario: min_quality %v outside [0,1]", s.MinQuality)
+	}
+	if t := s.Timeout; t != nil {
+		if math.IsNaN(t.GridStepMs) || math.IsInf(t.GridStepMs, 0) || t.GridStepMs < 0 {
+			return fmt.Errorf("scenario: timeout grid_step_ms %v must be a finite non-negative number", t.GridStepMs)
+		}
+		if t.RefineLevels < 0 {
+			return fmt.Errorf("scenario: timeout refine_levels %d must be non-negative", t.RefineLevels)
+		}
+		if t.ConvolutionNodes < 0 {
+			return fmt.Errorf("scenario: timeout convolution_nodes %d must be non-negative", t.ConvolutionNodes)
+		}
+	}
+	return nil
+}
+
+// SolveRequest is the cmd/dmcd /v1/solve wire request: a Solve plus
+// session routing. A SessionID pins the request to a session-keyed warm
+// solver (basis affinity across re-solves); without one the solve is
+// stateless. Estimator additionally attaches a §VIII-A estimator feed
+// (quality objective only) that /v1/observe observations drive.
+type SolveRequest struct {
+	Solve
+	SessionID string `json:"session_id,omitempty"`
+	Estimator bool   `json:"estimator,omitempty"`
+}
+
+// Share is one path combination's traffic share on the wire.
+type Share struct {
+	// Combo is the path combination in model indexing (0 = blackhole,
+	// k = Paths[k-1]); the first entry is the initial transmission.
+	Combo []int `json:"combo"`
+	// Fraction is the share of application traffic assigned to it.
+	Fraction float64 `json:"fraction"`
+	// DeliveryProb is p_l, its in-time delivery probability.
+	DeliveryProb float64 `json:"delivery_prob"`
+}
+
+// SolveResult is a solved strategy on the wire. It copies everything it
+// reports out of the core Solution, so it stays valid after the warm
+// solver that produced the Solution moves on.
+type SolveResult struct {
+	// Quality is the delivered-in-time fraction Q (Eq. 10).
+	Quality float64 `json:"quality"`
+	// CostPerSecond is the expected total cost per second (Eq. 21).
+	CostPerSecond float64 `json:"cost_per_second,omitempty"`
+	// Shares lists the combinations carrying at least 1e-9 of the
+	// traffic, sorted by decreasing share.
+	Shares []Share `json:"shares"`
+	// PathRatesMbps is the expected sent rate per path (Eq. 2).
+	PathRatesMbps []float64 `json:"path_rates_mbps"`
+	// DropRateMbps is the traffic assigned to the blackhole.
+	DropRateMbps float64 `json:"drop_rate_mbps,omitempty"`
+	// TimeoutsMs is the t_{i,j} table used by the random objective
+	// (negative = undefined pair); nil for the deterministic objectives.
+	TimeoutsMs [][]float64 `json:"timeouts_ms,omitempty"`
+	// Dispatch names the solve core that ran (dense, dense-pruned, cg).
+	Dispatch string `json:"dispatch,omitempty"`
+	// Warm reports the solve ran incrementally from session warm state.
+	Warm bool `json:"warm,omitempty"`
+}
+
+// NewSolveResult extracts a wire result from a solved strategy. to is
+// the random objective's timeout table (nil otherwise).
+func NewSolveResult(sol *core.Solution, to *core.Timeouts) SolveResult {
+	out := SolveResult{
+		Quality:  sol.Quality,
+		Shares:   []Share{},
+		Dispatch: string(sol.Stats.Dispatch),
+		Warm:     sol.Stats.Warm,
+	}
+	for _, cs := range sol.ActiveCombos(1e-9) {
+		out.Shares = append(out.Shares, Share{
+			Combo:        append([]int(nil), cs.Combo...),
+			Fraction:     cs.Fraction,
+			DeliveryProb: cs.DeliveryProb,
+		})
+	}
+	out.PathRatesMbps = make([]float64, len(sol.Network.Paths))
+	for i := range sol.Network.Paths {
+		out.PathRatesMbps[i] = sol.SentRate(i) / core.Mbps
+	}
+	if drop := sol.DropRate(); drop > 0 {
+		out.DropRateMbps = drop / core.Mbps
+	}
+	if c := sol.Cost(); c > 0 {
+		out.CostPerSecond = c
+	}
+	if to != nil {
+		out.TimeoutsMs = make([][]float64, len(to.T))
+		for i, row := range to.T {
+			out.TimeoutsMs[i] = make([]float64, len(row))
+			for j, d := range row {
+				if d < 0 {
+					out.TimeoutsMs[i][j] = -1
+				} else {
+					out.TimeoutsMs[i][j] = durToMs(d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SolveResponse is the cmd/dmcd wire response for /v1/solve and
+// /v1/observe.
+type SolveResponse struct {
+	SessionID string `json:"session_id,omitempty"`
+	// Resolved reports whether this request ran a solve: always true for
+	// /v1/solve, and only on estimator drift for /v1/observe.
+	Resolved bool `json:"resolved"`
+	// Result is the current strategy (nil from /v1/observe before the
+	// first solve).
+	Result *SolveResult `json:"result,omitempty"`
+}
+
+// PathObservation carries one path's §VIII-A measurements for a session
+// estimator feed.
+type PathObservation struct {
+	// Path is the 0-based index into the session network's paths.
+	Path int `json:"path"`
+	// Sent and Lost are transmission/loss counts since the last report.
+	Sent int `json:"sent,omitempty"`
+	Lost int `json:"lost,omitempty"`
+	// RTTMs lists acknowledged round-trip samples in milliseconds.
+	RTTMs []float64 `json:"rtt_ms,omitempty"`
+}
+
+// ObserveRequest is the cmd/dmcd /v1/observe wire request: measurements
+// feeding a session's estimator, which re-solves (warm) when the
+// estimates drift beyond the adaptor's tolerance.
+type ObserveRequest struct {
+	SessionID string            `json:"session_id"`
+	Paths     []PathObservation `json:"paths"`
+}
+
+// ErrorResponse is the JSON error body every cmd/dmcd endpoint returns
+// on failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
 }
 
 // Simulation describes a cmd/mpsim request: a model (what the sender

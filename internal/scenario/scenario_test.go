@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"dmc/internal/core"
 	"dmc/internal/dist"
 )
 
@@ -237,5 +239,107 @@ func TestInvalidNetworkPropagates(t *testing.T) {
 	n := Network{RateMbps: -1, LifetimeMs: 100, Paths: []Path{{BandwidthMbps: 1}}}
 	if _, err := n.ToNetwork(); err == nil {
 		t.Error("negative rate accepted")
+	}
+}
+
+func TestSolveValidate(t *testing.T) {
+	base := Network{RateMbps: 10, LifetimeMs: 500, Paths: []Path{{BandwidthMbps: 10}}}
+	cases := []struct {
+		name string
+		req  Solve
+		ok   bool
+	}{
+		{"default objective", Solve{Network: base}, true},
+		{"quality", Solve{Network: base, Objective: "quality"}, true},
+		{"mincost", Solve{Network: base, Objective: "mincost", MinQuality: 0.9}, true},
+		{"random with timeout spec", Solve{Network: base, Objective: "random",
+			Timeout: &TimeoutSpec{GridStepMs: 2, RefineLevels: 1, ConvolutionNodes: 400}}, true},
+		{"unknown objective", Solve{Network: base, Objective: "fastest"}, false},
+		{"floor above 1", Solve{Network: base, Objective: "mincost", MinQuality: 1.5}, false},
+		{"floor below 0", Solve{Network: base, MinQuality: -0.1}, false},
+		{"floor NaN", Solve{Network: base, MinQuality: math.NaN()}, false},
+		{"negative grid step", Solve{Network: base, Timeout: &TimeoutSpec{GridStepMs: -1}}, false},
+		{"negative refine levels", Solve{Network: base, Timeout: &TimeoutSpec{RefineLevels: -1}}, false},
+		{"negative nodes", Solve{Network: base, Timeout: &TimeoutSpec{ConvolutionNodes: -1}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestTimeoutSpecOptions(t *testing.T) {
+	opts := TimeoutSpec{GridStepMs: 2.5, RefineLevels: 3, ConvolutionNodes: 700}.Options()
+	if opts.GridStep != 2500*time.Microsecond || opts.RefineLevels != 3 || opts.ConvolutionNodes != 700 {
+		t.Fatalf("Options() = %+v", opts)
+	}
+}
+
+// TestSolveRequestRoundTrip pins the wire field names: a request built
+// from Go values must marshal to the documented JSON and back.
+func TestSolveRequestRoundTrip(t *testing.T) {
+	in := `{"network":{"rate_mbps":90,"lifetime_ms":800,"paths":[{"bandwidth_mbps":80,"delay_ms":450,"loss":0.2}]},` +
+		`"objective":"mincost","min_quality":0.9,"timeout":{"grid_step_ms":2},"session_id":"s1","estimator":true}`
+	var req SolveRequest
+	if err := Load(strings.NewReader(in), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.SessionID != "s1" || !req.Estimator || req.Objective != "mincost" ||
+		req.MinQuality != 0.9 || req.Timeout == nil || req.Timeout.GridStepMs != 2 {
+		t.Fatalf("parsed request wrong: %+v", req)
+	}
+	out, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != in {
+		t.Fatalf("round trip drifted:\n in: %s\nout: %s", in, out)
+	}
+}
+
+// TestNewSolveResult extracts a wire result from a real solve and
+// checks it against the Solution it came from.
+func TestNewSolveResult(t *testing.T) {
+	var jn Network
+	if err := Load(strings.NewReader(tableIIIJSON), &jn); err != nil {
+		t.Fatal(err)
+	}
+	net, err := jn.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SolveQuality(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewSolveResult(sol, nil)
+	if res.Quality != sol.Quality {
+		t.Fatalf("quality %v vs %v", res.Quality, sol.Quality)
+	}
+	var total float64
+	for _, sh := range res.Shares {
+		total += sh.Fraction
+		if len(sh.Combo) != 2 {
+			t.Fatalf("combo length %d, want transmissions=2", len(sh.Combo))
+		}
+	}
+	if math.Abs(total+res.DropRateMbps*1e6/net.Rate-1) > 1e-6 {
+		t.Fatalf("shares %v + drop %v Mbps do not conserve traffic", total, res.DropRateMbps)
+	}
+	if len(res.PathRatesMbps) != 2 {
+		t.Fatalf("path rates %v", res.PathRatesMbps)
+	}
+	if res.Dispatch != string(core.DispatchDense) {
+		t.Fatalf("dispatch %q", res.Dispatch)
+	}
+
+	// Random objective: the timeout table must survive, undefined pairs
+	// as -1.
+	to := core.NewTimeouts(2)
+	to.Set(0, 1, 120*time.Millisecond)
+	rres := NewSolveResult(sol, to)
+	if rres.TimeoutsMs[0][1] != 120 || rres.TimeoutsMs[0][0] != -1 {
+		t.Fatalf("timeout table %v", rres.TimeoutsMs)
 	}
 }

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/scenario"
+)
+
+// maxBodyBytes bounds request bodies; a network description is a few KB
+// even at fleet scale.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/solve        solve (one-shot, session-keyed, or estimator)
+//	POST   /v1/observe      feed estimator measurements, re-solve on drift
+//	DELETE /v1/session/{id} drop a session
+//	GET    /metrics         per-shard metrics snapshot
+//	GET    /healthz         liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDrop)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, scenario.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a request body into dst (unknown fields rejected),
+// writing a 400 itself on failure.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := scenario.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes), dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	return true
+}
+
+// submit admits the task (or replies 429) and waits for its result (or
+// the client's departure). A nil result means the response is already
+// written.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, sh *shard, t *task) *taskResult {
+	t.done = make(chan taskResult, 1)
+	t.enq = time.Now()
+	if !s.enqueue(sh, t) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(sh)))
+		writeErr(w, http.StatusTooManyRequests, "serve: shard %d queue full", sh.idx)
+		return nil
+	}
+	select {
+	case res := <-t.done:
+		return &res
+	case <-r.Context().Done():
+		// The client is gone; the wave still completes the solve (warm
+		// state advances) and the buffered done send cannot block.
+		return nil
+	}
+}
+
+// solveStatus maps a solve error to its HTTP status.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, errDropped):
+		return http.StatusGone
+	case errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
+		return
+	}
+	var req scenario.SolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	obj, _ := req.ObjectiveKind()
+	if req.Estimator {
+		if req.SessionID == "" {
+			writeErr(w, http.StatusBadRequest, "serve: estimator requires a session_id")
+			return
+		}
+		if obj != scenario.ObjectiveQuality {
+			writeErr(w, http.StatusBadRequest, "serve: estimator supports only the quality objective, not %q", obj)
+			return
+		}
+	}
+	net, err := req.Network.ToNetwork()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	t := &task{
+		kind:       taskSolve,
+		estimator:  req.Estimator,
+		net:        net,
+		objective:  obj,
+		minQuality: req.MinQuality,
+	}
+	if req.Timeout != nil {
+		t.toOpts = req.Timeout.Options()
+	}
+	var sh *shard
+	if req.SessionID != "" {
+		t.sess = s.sessionFor(req.SessionID)
+		sh = t.sess.sh
+	} else {
+		sh = s.shards[s.oneShotRR.Add(1)%uint64(len(s.shards))]
+	}
+	res := s.submit(w, r, sh, t)
+	if res == nil {
+		return
+	}
+	if res.err != nil {
+		writeErr(w, solveStatus(res.err), "%v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scenario.SolveResponse{
+		SessionID: req.SessionID,
+		Resolved:  res.resolved,
+		Result:    &res.res,
+	})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
+		return
+	}
+	var req scenario.ObserveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.SessionID == "" {
+		writeErr(w, http.StatusBadRequest, "serve: observe requires a session_id")
+		return
+	}
+	se := s.lookupSession(req.SessionID)
+	if se == nil {
+		writeErr(w, http.StatusNotFound, "serve: unknown session %q", req.SessionID)
+		return
+	}
+
+	// Feed the observations before enqueuing the poll, so the poll's
+	// drift check sees them no matter how waves interleave.
+	se.mu.Lock()
+	ad := se.adaptor
+	if ad == nil || se.dropped {
+		se.mu.Unlock()
+		writeErr(w, http.StatusConflict, "serve: session %q has no estimator feed (solve with \"estimator\": true first)", req.SessionID)
+		return
+	}
+	nPaths := len(ad.EstimatedNetwork().Paths)
+	for _, p := range req.Paths {
+		if p.Path < 0 || p.Path >= nPaths {
+			se.mu.Unlock()
+			writeErr(w, http.StatusBadRequest, "serve: path index %d outside the session's %d paths", p.Path, nPaths)
+			return
+		}
+		if p.Sent < 0 || p.Lost < 0 || p.Lost > p.Sent {
+			se.mu.Unlock()
+			writeErr(w, http.StatusBadRequest, "serve: path %d needs 0 <= lost <= sent, got sent=%d lost=%d", p.Path, p.Sent, p.Lost)
+			return
+		}
+		for range p.Sent {
+			ad.ObserveSend(p.Path)
+		}
+		for range p.Lost {
+			ad.ObserveLoss(p.Path)
+		}
+		for _, ms := range p.RTTMs {
+			ad.ObserveRTT(p.Path, time.Duration(ms*float64(time.Millisecond)))
+		}
+	}
+	se.mu.Unlock()
+
+	res := s.submit(w, r, se.sh, &task{kind: taskPoll, sess: se})
+	if res == nil {
+		return
+	}
+	if res.err != nil {
+		writeErr(w, solveStatus(res.err), "%v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scenario.SolveResponse{
+		SessionID: req.SessionID,
+		Resolved:  res.resolved,
+		Result:    &res.res,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	s.DropSession(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histogram geometry: log-spaced buckets from latFirst upward,
+// each latGrowth× wider than the last. 48 buckets cover 20µs → ~1900s;
+// anything beyond lands in the last bucket. Quantiles read off the
+// cumulative counts are accurate to one bucket width (~28%), which is
+// plenty for a saturation dashboard — the alternative (recording raw
+// samples) costs allocation on the solve hot path.
+const (
+	latBuckets = 48
+	latFirst   = 20 * time.Microsecond
+	latGrowth  = 1.5
+)
+
+var latBounds = func() [latBuckets]time.Duration {
+	var b [latBuckets]time.Duration
+	f := float64(latFirst)
+	for i := range b {
+		b[i] = time.Duration(f)
+		f *= latGrowth
+	}
+	return b
+}()
+
+// rateWindow counts events over a sliding window of one-second slots,
+// for a solves/sec gauge that reacts within seconds instead of
+// averaging over the daemon's whole uptime.
+type rateWindow struct {
+	mu    sync.Mutex
+	slots [rateSlots]uint64
+	secs  [rateSlots]int64
+}
+
+const rateSlots = 10
+
+func (r *rateWindow) observe(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % rateSlots)
+	r.mu.Lock()
+	if r.secs[i] != sec {
+		r.secs[i] = sec
+		r.slots[i] = 0
+	}
+	r.slots[i]++
+	r.mu.Unlock()
+}
+
+// perSec returns events/sec averaged over the filled portion of the
+// window, excluding the current (incomplete) second when older full
+// seconds exist.
+func (r *rateWindow) perSec(now time.Time) float64 {
+	sec := now.Unix()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	var span int
+	for i := 0; i < rateSlots; i++ {
+		age := sec - r.secs[i]
+		if age >= 1 && age < rateSlots {
+			total += r.slots[i]
+			span++
+		}
+	}
+	if span == 0 {
+		// Nothing but the current second: report it as-is.
+		return float64(r.slots[int(sec%rateSlots)])
+	}
+	return float64(total) / float64(span)
+}
+
+// shardMetrics is one shard's counters. All hot-path updates are
+// atomic; snapshots are racy-but-consistent-enough reads, the usual
+// metrics contract.
+type shardMetrics struct {
+	solves   atomic.Uint64
+	warm     atomic.Uint64
+	errors   atomic.Uint64
+	rejected atomic.Uint64
+	waves    atomic.Uint64
+	buckets  [latBuckets]atomic.Uint64
+	rate     rateWindow
+}
+
+// observe records one completed task.
+func (m *shardMetrics) observe(lat time.Duration, warm bool, failed bool) {
+	m.solves.Add(1)
+	if warm {
+		m.warm.Add(1)
+	}
+	if failed {
+		m.errors.Add(1)
+	}
+	i := 0
+	for i < latBuckets-1 && lat > latBounds[i] {
+		i++
+	}
+	m.buckets[i].Add(1)
+	m.rate.observe(time.Now())
+}
+
+// quantile returns the latency at quantile q ∈ (0,1] from the bucket
+// counts (upper bound of the containing bucket), or 0 with no samples.
+func (m *shardMetrics) quantile(q float64) time.Duration {
+	var counts [latBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = m.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return latBounds[i]
+		}
+	}
+	return latBounds[latBuckets-1]
+}
+
+// ShardMetrics is one shard's snapshot on the /metrics wire.
+type ShardMetrics struct {
+	Shard    int `json:"shard"`
+	Sessions int `json:"sessions"`
+	// QueueDepth is the number of admitted tasks waiting for a wave.
+	QueueDepth int `json:"queue_depth"`
+	// Solves counts completed tasks (including failed ones); Waves
+	// counts the batches they were coalesced into.
+	Solves uint64 `json:"solves"`
+	Waves  uint64 `json:"waves"`
+	// WarmSolves counts tasks served from session warm state;
+	// WarmHitRate is WarmSolves/Solves.
+	WarmSolves  uint64  `json:"warm_solves"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	Errors      uint64  `json:"errors"`
+	// Rejected counts tasks turned away by admission control (HTTP 429).
+	Rejected uint64 `json:"rejected"`
+	// SolvesPerSec is the completion rate over a sliding 10 s window.
+	SolvesPerSec float64 `json:"solves_per_sec"`
+	// P50Ms/P99Ms are enqueue-to-completion latency quantiles (ms).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// Metrics is the full /metrics document.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	// Sessions is the total live session count across shards.
+	Sessions int            `json:"sessions"`
+	Shards   []ShardMetrics `json:"shards"`
+}
+
+// Metrics snapshots every shard's counters.
+func (s *Server) Metrics() Metrics {
+	now := time.Now()
+	out := Metrics{
+		UptimeSec: now.Sub(s.start).Seconds(),
+		Shards:    make([]ShardMetrics, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		m := &sh.met
+		solves := m.solves.Load()
+		sm := ShardMetrics{
+			Shard:        i,
+			Sessions:     sh.pool.Sessions(),
+			QueueDepth:   len(sh.reqs),
+			Solves:       solves,
+			Waves:        m.waves.Load(),
+			WarmSolves:   m.warm.Load(),
+			Errors:       m.errors.Load(),
+			Rejected:     m.rejected.Load(),
+			SolvesPerSec: m.rate.perSec(now),
+			P50Ms:        float64(m.quantile(0.50)) / float64(time.Millisecond),
+			P99Ms:        float64(m.quantile(0.99)) / float64(time.Millisecond),
+		}
+		if solves > 0 {
+			sm.WarmHitRate = float64(sm.WarmSolves) / float64(solves)
+		}
+		out.Sessions += sm.Sessions
+		out.Shards[i] = sm
+	}
+	return out
+}

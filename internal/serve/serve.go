@@ -1,0 +1,466 @@
+// Package serve implements the dmcd online solver service: N sharded
+// core.WarmPools serving session-keyed solve/re-solve requests, with
+// concurrent requests coalesced into batched solve waves per shard,
+// per-session §VIII-A estimator feeds (estimate.Adaptor) driving warm
+// re-solves on drift, admission control with backpressure, and
+// per-shard metrics. The HTTP/JSON wire schema lives in
+// internal/scenario; cmd/dmcd wraps this package in a binary.
+//
+// Request flow: a session ID hashes onto a shard, whose bounded queue
+// either admits the task or rejects it (HTTP 429 + Retry-After). The
+// shard's worker collects admitted tasks into a wave — up to MaxBatch
+// tasks within BatchWindow — and fans the wave across the worker pool,
+// each task re-solving on the session's warm solver (basis and column
+// affinity survive fleet churn because the pool is keyed, not
+// positional). Estimator sessions route through their Adaptor instead,
+// which re-solves only when the fed estimates drift.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmc/internal/conc"
+	"dmc/internal/core"
+	"dmc/internal/estimate"
+	"dmc/internal/scenario"
+)
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// Shards is the number of independent WarmPool shards (sessions
+	// hash onto one by ID). Zero means GOMAXPROCS.
+	Shards int
+	// BatchWindow is how long a wave waits to coalesce more requests
+	// after its first. Zero means 500µs; negative disables waiting
+	// (a wave takes only what is already queued).
+	BatchWindow time.Duration
+	// MaxBatch caps tasks per wave. Zero means 256.
+	MaxBatch int
+	// MaxQueue bounds each shard's admitted-task queue; a full queue
+	// rejects with 429 + Retry-After. Zero means 1024.
+	MaxQueue int
+	// EstimatorRelTol overrides the estimator feeds' re-solve drift
+	// tolerance (estimate.Adaptor.RelTol). Zero keeps the adaptor
+	// default (10%).
+	EstimatorRelTol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	return c
+}
+
+// errClosed rejects tasks admitted in the instant the server shut down.
+var errClosed = errors.New("serve: server closed")
+
+// errDropped rejects tasks whose session was dropped while they queued.
+var errDropped = errors.New("serve: session dropped")
+
+type taskKind uint8
+
+const (
+	// taskSolve solves the task's network explicitly.
+	taskSolve taskKind = iota
+	// taskPoll polls a session's estimator feed: re-solve iff drifted.
+	taskPoll
+)
+
+// task is one admitted unit of work waiting for (or inside) a wave.
+type task struct {
+	kind      taskKind
+	sess      *session // nil for stateless one-shot solves
+	estimator bool     // (re)bind an estimator feed on this solve
+
+	net        *core.Network
+	objective  string
+	minQuality float64
+	toOpts     core.TimeoutOptions
+
+	done chan taskResult // buffered(1): exec never blocks on a gone client
+	enq  time.Time
+}
+
+type taskResult struct {
+	res      scenario.SolveResult
+	resolved bool
+	err      error
+}
+
+// session is the serve-level state of one session ID: its shard, and —
+// for estimator sessions — the §VIII-A adaptor feed. The mutex
+// serializes everything per session: solves (so result extraction can
+// never race a same-session re-solve clobbering solver storage),
+// estimator observations, and drop.
+type session struct {
+	id string
+	sh *shard
+
+	mu      sync.Mutex
+	adaptor *estimate.Adaptor
+	dropped bool
+}
+
+// shard is one WarmPool plus its admission queue and worker.
+type shard struct {
+	idx   int
+	pool  *core.WarmPool
+	reqs  chan *task
+	stop  chan struct{}
+	batch []*task // wave scratch, touched only by the shard worker
+	met   shardMetrics
+}
+
+// Server is the online solver service. Create with New, serve HTTP via
+// Handler, stop with Close. Safe for concurrent use.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	tcache *core.TimeoutCache
+	start  time.Time
+
+	smu      sync.RWMutex
+	sessions map[string]*session
+
+	oneShotRR atomic.Uint64 // round-robin shard pick for session-less solves
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// New starts a Server: cfg.Shards WarmPool shards, each with a running
+// wave worker.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		shards:   make([]*shard, cfg.Shards),
+		tcache:   core.NewTimeoutCache(),
+		start:    time.Now(),
+		sessions: make(map[string]*session),
+	}
+	for i := range s.shards {
+		sh := &shard{
+			idx:  i,
+			pool: core.NewWarmPool(),
+			reqs: make(chan *task, cfg.MaxQueue),
+			stop: make(chan struct{}),
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.runShard(sh)
+	}
+	return s
+}
+
+// shardFor hashes a session ID onto its shard. Stable by construction:
+// the same ID always lands on the same shard (and so the same WarmPool
+// session solver) for the server's lifetime.
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// sessionFor returns the session for id, creating it if needed.
+func (s *Server) sessionFor(id string) *session {
+	s.smu.RLock()
+	se := s.sessions[id]
+	s.smu.RUnlock()
+	if se != nil {
+		return se
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if se = s.sessions[id]; se == nil {
+		se = &session{id: id, sh: s.shardFor(id)}
+		s.sessions[id] = se
+	}
+	return se
+}
+
+// lookupSession returns the session for id, or nil.
+func (s *Server) lookupSession(id string) *session {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return s.sessions[id]
+}
+
+// DropSession removes a session: its registry entry, its estimator
+// feed, and its warm solver (retired to the shard pool's shape stripes,
+// where a future same-shaped session picks the structural state back
+// up). Unknown IDs are a no-op. Tasks the session still has queued fail
+// with a "session dropped" error.
+func (s *Server) DropSession(id string) {
+	s.smu.Lock()
+	se := s.sessions[id]
+	delete(s.sessions, id)
+	s.smu.Unlock()
+	if se == nil {
+		return
+	}
+	se.mu.Lock()
+	se.dropped = true
+	se.adaptor = nil
+	se.mu.Unlock()
+	se.sh.pool.DropSession(id)
+}
+
+// Sessions returns the live session count.
+func (s *Server) Sessions() int {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return len(s.sessions)
+}
+
+// enqueue admits a task onto the shard's bounded queue. False means
+// saturated: the caller should reply 429 with retryAfter.
+func (s *Server) enqueue(sh *shard, t *task) bool {
+	select {
+	case sh.reqs <- t:
+		return true
+	default:
+		sh.met.rejected.Add(1)
+		return false
+	}
+}
+
+// retryAfter estimates how long a rejected caller should back off:
+// the queue's expected drain time at the shard's median latency,
+// clamped to [1s, 30s] whole seconds.
+func (s *Server) retryAfter(sh *shard) int {
+	p50 := sh.met.quantile(0.50)
+	if p50 <= 0 {
+		return 1
+	}
+	secs := int((time.Duration(len(sh.reqs))*p50 + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// Close stops the server gracefully: every already-admitted task is
+// still solved (in-flight waves drain), then the shard workers exit.
+// Requests arriving after Close begin fail with 503. Close is
+// idempotent and safe to call concurrently.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range s.shards {
+		close(sh.stop)
+	}
+	s.wg.Wait()
+	// A handler that passed the closed check just before the flag
+	// flipped may have enqueued after the worker drained. Fail those
+	// tasks instead of leaving their callers waiting.
+	for _, sh := range s.shards {
+		for {
+			select {
+			case t := <-sh.reqs:
+				t.done <- taskResult{err: errClosed}
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// runShard is the shard worker: block for a first task, coalesce a
+// wave around it, execute, repeat. On stop it drains everything already
+// admitted before exiting — graceful shutdown never abandons an
+// admitted task.
+func (s *Server) runShard(sh *shard) {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-sh.reqs:
+			s.wave(sh, t)
+		case <-sh.stop:
+			for {
+				select {
+				case t := <-sh.reqs:
+					s.wave(sh, t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// wave coalesces up to MaxBatch tasks — waiting at most BatchWindow for
+// stragglers, but firing early once arrivals go quiet for a quarter
+// window (callers blocked on this wave's results cannot send more, so
+// idling out the full window would only add latency) — and solves them
+// as one batch across the worker pool. Per-session warm affinity comes
+// from the keyed pool, so which wave a task lands in never affects its
+// result, only its latency.
+func (s *Server) wave(sh *shard, first *task) {
+	batch := append(sh.batch[:0], first)
+	if s.cfg.BatchWindow > 0 {
+		gapD := s.cfg.BatchWindow / 4
+		if gapD <= 0 {
+			gapD = s.cfg.BatchWindow
+		}
+		total := time.NewTimer(s.cfg.BatchWindow)
+		gap := time.NewTimer(gapD)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t := <-sh.reqs:
+				batch = append(batch, t)
+				if !gap.Stop() {
+					<-gap.C
+				}
+				gap.Reset(gapD)
+			case <-gap.C:
+				break collect
+			case <-total.C:
+				break collect
+			case <-sh.stop:
+				// Shutdown cuts the window short; the queue's remainder
+				// drains in runShard's stop loop.
+				break collect
+			}
+		}
+		total.Stop()
+		gap.Stop()
+	} else {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t := <-sh.reqs:
+				batch = append(batch, t)
+			default:
+				goto full
+			}
+		}
+	full:
+	}
+	sh.batch = batch
+	sh.met.waves.Add(1)
+	conc.ForEach(len(batch), func(i int) error {
+		s.exec(sh, batch[i])
+		return nil
+	})
+}
+
+// exec runs one task and delivers its result.
+func (s *Server) exec(sh *shard, t *task) {
+	var r taskResult
+	r.res, r.resolved, r.err = s.solveTask(sh, t)
+	sh.met.observe(time.Since(t.enq), r.res.Warm, r.err != nil)
+	t.done <- r
+}
+
+// solveTask executes a task against its session's warm solver (or the
+// package-level pooled solvers for one-shots). The wire result is
+// extracted while the session lock is held, so a same-session re-solve
+// can never rebuild the solver storage under the extraction.
+func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, error) {
+	var to *core.Timeouts
+	if t.kind == taskSolve && t.objective == scenario.ObjectiveRandom {
+		var err error
+		to, err = s.tcache.OptimalTimeouts(t.net, t.toOpts)
+		if err != nil {
+			return scenario.SolveResult{}, false, err
+		}
+	}
+	if t.sess == nil {
+		return oneShot(t, to)
+	}
+	se := t.sess
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.dropped {
+		return scenario.SolveResult{}, false, errDropped
+	}
+
+	if t.kind == taskPoll {
+		if se.adaptor == nil {
+			return scenario.SolveResult{}, false, fmt.Errorf("serve: session %q has no estimator feed", se.id)
+		}
+		sol, resolved, err := se.adaptor.Solution()
+		if err != nil {
+			return scenario.SolveResult{}, false, err
+		}
+		return scenario.NewSolveResult(sol, nil), resolved, nil
+	}
+
+	if t.estimator {
+		// (Re)bind the estimator feed to this network and solve through
+		// it: the adaptor owns the session's warm solver lineage from
+		// here, and /v1/observe drives it. Estimator state starts fresh
+		// per the §VIII-A bootstrap (0% loss until observations arrive).
+		ad, err := estimate.NewAdaptor(t.net)
+		if err != nil {
+			return scenario.SolveResult{}, false, err
+		}
+		if s.cfg.EstimatorRelTol > 0 {
+			ad.RelTol = s.cfg.EstimatorRelTol
+		}
+		sol, _, err := ad.Solution()
+		if err != nil {
+			return scenario.SolveResult{}, false, err
+		}
+		se.adaptor = ad
+		return scenario.NewSolveResult(sol, nil), true, nil
+	}
+	// An explicit plain solve supersedes any estimator feed: the client
+	// has switched to driving re-solves itself.
+	se.adaptor = nil
+
+	var sol *core.Solution
+	var err error
+	switch t.objective {
+	case scenario.ObjectiveMinCost:
+		sol, err = se.sh.pool.SolveSessionMinCost(se.id, t.net, t.minQuality)
+	case scenario.ObjectiveRandom:
+		sol, err = se.sh.pool.SolveSessionRandom(se.id, t.net, to)
+	default:
+		sol, err = se.sh.pool.SolveSession(se.id, t.net)
+	}
+	if err != nil {
+		return scenario.SolveResult{}, false, err
+	}
+	return scenario.NewSolveResult(sol, to), true, nil
+}
+
+// oneShot solves a session-less task on the package-level pooled
+// solvers.
+func oneShot(t *task, to *core.Timeouts) (scenario.SolveResult, bool, error) {
+	var sol *core.Solution
+	var err error
+	switch t.objective {
+	case scenario.ObjectiveMinCost:
+		sol, err = core.SolveMinCost(t.net, t.minQuality)
+	case scenario.ObjectiveRandom:
+		sol, err = core.SolveQualityRandom(t.net, to)
+	default:
+		sol, err = core.SolveQuality(t.net)
+	}
+	if err != nil {
+		return scenario.SolveResult{}, false, err
+	}
+	return scenario.NewSolveResult(sol, to), true, nil
+}

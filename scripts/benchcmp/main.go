@@ -97,10 +97,11 @@ func parseBench(r io.Reader) (map[string]entry, []string, error) {
 // defaultCritical matches the solve-core benchmarks: regressions here
 // fail the run, regressions in sweeps/simulations only warn. SolveMany
 // also covers SolveManyWarm (the shared warm-pool fleet re-solve);
-// MinCostCG is the §VI-A column-generation solve core. RandomCG stays
-// warn-only: its per-op time is dominated by delay-distribution table
-// builds, too noisy to gate.
-const defaultCritical = `^Benchmark(Figure1Scenario|Figure4Solve|ScalabilitySolve|WarmResolve|SolveMany|MinCostCG|LPLargeAspect|SolverAblation)`
+// MinCostCG is the §VI-A column-generation solve core. ServeSaturation
+// gates the cmd/dmcd serving tax over the same warm fleet re-solves.
+// RandomCG stays warn-only: its per-op time is dominated by
+// delay-distribution table builds, too noisy to gate.
+const defaultCritical = `^Benchmark(Figure1Scenario|Figure4Solve|ScalabilitySolve|WarmResolve|SolveMany|MinCostCG|LPLargeAspect|SolverAblation|ServeSaturation)`
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON snapshot to compare against")
