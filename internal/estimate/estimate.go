@@ -25,10 +25,19 @@ type Loss struct {
 }
 
 // RecordSent notes n transmissions on the path.
-func (l *Loss) RecordSent(n int) { l.sent += int64(n) }
+func (l *Loss) RecordSent(n int) { l.sent = satAdd(l.sent, int64(n)) }
 
 // RecordLost notes n known losses (timeout-inferred or nack'd).
-func (l *Loss) RecordLost(n int) { l.lost += int64(n) }
+func (l *Loss) RecordLost(n int) { l.lost = satAdd(l.lost, int64(n)) }
+
+// satAdd adds counters saturating at MaxInt64: counts this large carry
+// no more information, and wrapping negative would zero the estimate.
+func satAdd(a, b int64) int64 {
+	if s := a + b; (s > a) == (b > 0) {
+		return s
+	}
+	return math.MaxInt64
+}
 
 // Rate returns lost/sent, or 0 before any data.
 func (l *Loss) Rate() float64 {
@@ -276,8 +285,14 @@ func NewAdaptor(base *core.Network) (*Adaptor, error) {
 // ObserveSend counts a transmission on path i.
 func (a *Adaptor) ObserveSend(i int) { a.loss[i].RecordSent(1) }
 
+// ObserveSends counts n transmissions on path i in one O(1) update.
+func (a *Adaptor) ObserveSends(i, n int) { a.loss[i].RecordSent(n) }
+
 // ObserveLoss counts an inferred loss on path i.
 func (a *Adaptor) ObserveLoss(i int) { a.loss[i].RecordLost(1) }
+
+// ObserveLosses counts n inferred losses on path i in one O(1) update.
+func (a *Adaptor) ObserveLosses(i, n int) { a.loss[i].RecordLost(n) }
 
 // ObserveRTT folds an acknowledgment RTT for path i.
 func (a *Adaptor) ObserveRTT(i int, rtt time.Duration) { a.rtt[i].Observe(rtt) }

@@ -60,7 +60,12 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, sh *shard, t *task) *taskResult {
 	t.done = make(chan taskResult, 1)
 	t.enq = time.Now()
-	if !s.enqueue(sh, t) {
+	switch err := s.enqueue(sh, t); {
+	case err == nil:
+	case errors.Is(err, errClosed):
+		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
+		return nil
+	default:
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(sh)))
 		writeErr(w, http.StatusTooManyRequests, "serve: shard %d queue full", sh.idx)
 		return nil
@@ -75,17 +80,22 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sh *shard, t *ta
 	}
 }
 
-// solveStatus maps a solve error to its HTTP status.
+// solveStatus maps a solve error to its HTTP status. Only verdicts the
+// client caused (an unattainable request on the network it supplied)
+// are 4xx; anything unrecognized is a server fault and must say so, or
+// client retry logic backs off a request that could never succeed — and
+// retries one that might.
 func solveStatus(err error) int {
 	switch {
-	case errors.Is(err, core.ErrInfeasible):
+	case errors.Is(err, core.ErrInfeasible),
+		errors.Is(err, core.ErrRandomNeedsTwoTransmissions):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, errDropped):
 		return http.StatusGone
 	case errors.Is(err, errClosed):
 		return http.StatusServiceUnavailable
 	default:
-		return http.StatusUnprocessableEntity
+		return http.StatusInternalServerError
 	}
 }
 
@@ -191,12 +201,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "serve: path %d needs 0 <= lost <= sent, got sent=%d lost=%d", p.Path, p.Sent, p.Lost)
 			return
 		}
-		for range p.Sent {
-			ad.ObserveSend(p.Path)
-		}
-		for range p.Lost {
-			ad.ObserveLoss(p.Path)
-		}
+		// Counts fold in O(1): client-supplied magnitudes must never
+		// buy per-unit work while se.mu is held.
+		ad.ObserveSends(p.Path, p.Sent)
+		ad.ObserveLosses(p.Path, p.Lost)
 		for _, ms := range p.RTTMs {
 			ad.ObserveRTT(p.Path, time.Duration(ms*float64(time.Millisecond)))
 		}

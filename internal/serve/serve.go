@@ -67,8 +67,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// errClosed rejects tasks admitted in the instant the server shut down.
+// errClosed rejects tasks arriving in the instant the server shut down.
 var errClosed = errors.New("serve: server closed")
+
+// errSaturated rejects tasks when a shard's admission queue is full.
+var errSaturated = errors.New("serve: queue full")
 
 // errDropped rejects tasks whose session was dropped while they queued.
 var errDropped = errors.New("serve: session dropped")
@@ -140,6 +143,7 @@ type Server struct {
 
 	oneShotRR atomic.Uint64 // round-robin shard pick for session-less solves
 	closed    atomic.Bool
+	admitMu   sync.RWMutex // held shared across enqueue's closed-check + send; exclusively by Close's barrier
 	wg        sync.WaitGroup
 }
 
@@ -228,15 +232,26 @@ func (s *Server) Sessions() int {
 	return len(s.sessions)
 }
 
-// enqueue admits a task onto the shard's bounded queue. False means
-// saturated: the caller should reply 429 with retryAfter.
-func (s *Server) enqueue(sh *shard, t *task) bool {
+// enqueue admits a task onto the shard's bounded queue. errSaturated
+// means the caller should reply 429 with retryAfter; errClosed means
+// the server is (or began) shutting down. Holding admitMu shared across
+// the closed check and the send guarantees no task slips in after
+// Close's drain: Close flips the flag and then takes admitMu
+// exclusively, so every task that passed the check here is already in
+// the queue — where the stop-drain loop still executes it — before the
+// workers are told to stop.
+func (s *Server) enqueue(sh *shard, t *task) error {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.closed.Load() {
+		return errClosed
+	}
 	select {
 	case sh.reqs <- t:
-		return true
+		return nil
 	default:
 		sh.met.rejected.Add(1)
-		return false
+		return errSaturated
 	}
 }
 
@@ -266,24 +281,17 @@ func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Admission barrier: wait out every enqueue that passed the closed
+	// check before the flag flipped (each holds admitMu shared until its
+	// task is in the queue). After this, nothing new can enter a shard
+	// queue, so the workers' stop-drain loops see every admitted task
+	// and no caller is ever left waiting on an unexecuted one.
+	s.admitMu.Lock()
+	s.admitMu.Unlock()
 	for _, sh := range s.shards {
 		close(sh.stop)
 	}
 	s.wg.Wait()
-	// A handler that passed the closed check just before the flag
-	// flipped may have enqueued after the worker drained. Fail those
-	// tasks instead of leaving their callers waiting.
-	for _, sh := range s.shards {
-		for {
-			select {
-			case t := <-sh.reqs:
-				t.done <- taskResult{err: errClosed}
-			default:
-				goto next
-			}
-		}
-	next:
-	}
 }
 
 // runShard is the shard worker: block for a first task, coalesce a

@@ -383,6 +383,90 @@ func TestServeEstimator(t *testing.T) {
 	}
 }
 
+// TestServeObserveHugeCounts checks observation counts fold in O(1):
+// an unauthenticated body with astronomically large sent/lost counts
+// must answer immediately (not spin a core under the session mutex)
+// and feed the estimator exactly as the equivalent count-based calls.
+func TestServeObserveHugeCounts(t *testing.T) {
+	_, base := newTestServer(t, Config{Shards: 1})
+	rng := rand.New(rand.NewPCG(19, 6))
+	wire := testNetwork(rng, 2)
+
+	ref, err := estimate.NewAdaptor(toCore(t, wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ref.Solution(); err != nil {
+		t.Fatal(err)
+	}
+
+	solveOK(t, base, scenario.SolveRequest{
+		Solve:     scenario.Solve{Network: wire},
+		SessionID: "huge",
+		Estimator: true,
+	})
+
+	const sent, lost = 1 << 60, 1 << 58
+	start := time.Now()
+	status, body := postJSON(t, base+"/v1/observe", scenario.ObserveRequest{
+		SessionID: "huge",
+		Paths:     []scenario.PathObservation{{Path: 0, Sent: sent, Lost: lost}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("huge-count observe: status %d: %s", status, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("huge-count observe took %v; counts must not buy per-unit work", elapsed)
+	}
+	var got scenario.SolveResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref.ObserveSends(0, sent)
+	ref.ObserveLosses(0, lost)
+	refSol, refResolved, err := ref.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Resolved != refResolved {
+		t.Errorf("resolved=%v, reference %v", got.Resolved, refResolved)
+	}
+	if math.Abs(got.Result.Quality-refSol.Quality) > 1e-6 {
+		t.Errorf("quality %.9f, reference %.9f", got.Result.Quality, refSol.Quality)
+	}
+}
+
+// TestSolveStatus pins the error→status mapping: client-caused verdicts
+// are 4xx, unrecognized (server-side) failures are 500.
+func TestSolveStatus(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrapped: %w", core.ErrInfeasible), http.StatusUnprocessableEntity},
+		{core.ErrRandomNeedsTwoTransmissions, http.StatusUnprocessableEntity},
+		{errDropped, http.StatusGone},
+		{errClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("core: solving LP: numerical breakdown"), http.StatusInternalServerError},
+	} {
+		if got := solveStatus(tc.err); got != tc.want {
+			t.Errorf("solveStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestEnqueueAfterClose checks the admission gate: an enqueue racing
+// past a handler's closed check still fails with errClosed once Close
+// has run, rather than parking a task no worker will ever execute.
+func TestEnqueueAfterClose(t *testing.T) {
+	srv := New(Config{Shards: 1})
+	srv.Close()
+	tk := &task{done: make(chan taskResult, 1)}
+	if err := srv.enqueue(srv.shards[0], tk); err != errClosed {
+		t.Fatalf("enqueue after Close: err=%v, want errClosed", err)
+	}
+}
+
 // TestServeGracefulShutdown checks Close drains in-flight waves: every
 // request admitted before Close still gets its solution, and requests
 // after Close get 503.
