@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test fuzz-smoke bench-smoke bench run-dmcd ci
+.PHONY: all build vet fmt-check test chaos-smoke fuzz-smoke bench-smoke bench run-dmcd ci
 
 all: build vet fmt-check test
 
@@ -23,6 +23,15 @@ fmt-check:
 
 test:
 	$(GO) test -race ./...
+
+# The serving stack's chaos drill: the fault-storm invariant test
+# (internal/serve TestChaosFleetSurvivesFaultStorms) at full length —
+# CHAOS_ITERS randomized storms under the race detector. The regular
+# `make test` runs the same test at a few iterations; this target is
+# the long soak CI runs on the serving path.
+CHAOS_ITERS ?= 100
+chaos-smoke:
+	DMC_CHAOS_ITERS=$(CHAOS_ITERS) $(GO) test -race -count=1 -run '^TestChaosFleetSurvivesFaultStorms$$' -v ./internal/serve
 
 # Ten seconds per seed fuzz target. `go test -fuzz` accepts exactly one
 # target per invocation, so each runs separately.
@@ -62,4 +71,4 @@ DMCD_FLAGS ?= -addr :7117
 run-dmcd:
 	$(GO) run ./cmd/dmcd $(DMCD_FLAGS)
 
-ci: all fuzz-smoke bench-smoke
+ci: all chaos-smoke fuzz-smoke bench-smoke

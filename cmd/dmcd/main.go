@@ -25,6 +25,15 @@
 // re-solving only when the estimates drift. A full shard queue answers
 // 429 with a Retry-After hint. SIGINT/SIGTERM shut down gracefully:
 // admitted solves drain before the process exits.
+//
+// Failure containment (see the README's "Failure modes & degradation"):
+// "budget_ms" per request bounds queue wait (504 when it expires,
+// capped by -max-budget), per-shard circuit breakers fail fast with 503
+// while the solver is faulting (-breaker-threshold, -breaker-cooldown,
+// -serve-degraded), and solver panics answer 500 while the poisoned
+// session solver is quarantined. DMC_FAULT_POINTS/DMC_FAULT_SEED
+// activate the deterministic fault-injection harness (chaos drills
+// only — never in production).
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"dmc/internal/fault"
 	"dmc/internal/serve"
 )
 
@@ -61,17 +71,34 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxBatch    = fs.Int("max-batch", 0, "max solves per wave (0 = 256)")
 		queue       = fs.Int("queue", 0, "admitted-task queue bound per shard (0 = 1024)")
 		estTol      = fs.Float64("est-tol", 0, "estimator re-solve drift tolerance (0 = adaptor default)")
+		maxBudget   = fs.Duration("max-budget", 0, "deadline-budget cap and default (0 = 30s, negative = no default)")
+		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive solver faults tripping a shard breaker (0 = 8, negative = off)")
+		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 2s)")
+		degraded    = fs.Bool("serve-degraded", false, "serve a session's last good strategy while its breaker is open")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Chaos drills: an operator (or the chaos-smoke CI job) can arm the
+	// deterministic fault injectors from the environment.
+	if plan, err := fault.FromEnv(); err != nil {
+		return err
+	} else if plan != nil {
+		fault.Activate(plan)
+		fmt.Fprintf(stdout, "dmcd: fault injection ARMED (seed %d) at points %v\n", plan.Seed, fault.Points())
+	}
+
 	srv := serve.New(serve.Config{
-		Shards:          *shards,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *maxBatch,
-		MaxQueue:        *queue,
-		EstimatorRelTol: *estTol,
+		Shards:           *shards,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		MaxQueue:         *queue,
+		EstimatorRelTol:  *estTol,
+		MaxBudget:        *maxBudget,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		ServeDegraded:    *degraded,
 	})
 	defer srv.Close()
 

@@ -6,7 +6,16 @@ import (
 	"math"
 	"sort"
 
+	"dmc/internal/fault"
 	"dmc/internal/lp"
+)
+
+// Warm-path injection points. Errors injected here are absorbed by
+// resolve's cold fallback; panics unwind to the caller like a real
+// numerical crash.
+var (
+	fpResolveWarm = fault.Register("core.resolve.warm")
+	fpCGReprice   = fault.Register("core.cg.reprice")
 )
 
 // Pool-retention parameters of the warm CG path. Every re-solve can add
@@ -458,6 +467,9 @@ func (s *Solver) runObjectiveCG(m *model, cs *colSet, obj cgObjective, basis *lp
 // resolveWarm dispatches the warm re-solve; any error other than an
 // infeasible quality floor sends resolve down the cold path.
 func (s *Solver) resolveWarm(n *Network, req resolveReq) (*Solution, error) {
+	if err := fpResolveWarm.Hit(); err != nil {
+		return nil, err
+	}
 	switch s.rs.dispatch {
 	case DispatchCG:
 		return s.resolveWarmCG(n, req)
@@ -478,6 +490,9 @@ func (s *Solver) resolveWarmCG(n *Network, req resolveReq) (*Solution, error) {
 	cs := s.rs.pool
 	if cs.cols.len() > cgMaxPoolColumns {
 		return nil, fmt.Errorf("core: warm column pool exceeded %d columns", cgMaxPoolColumns)
+	}
+	if err := fpCGReprice.Hit(); err != nil {
+		return nil, err
 	}
 	cs.reevaluate(m, obj)
 

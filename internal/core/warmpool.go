@@ -326,6 +326,29 @@ func (p *WarmPool) DropSession(key string) {
 	}
 }
 
+// QuarantineSession discards the session's warm solver after a solver
+// panic: the poisoned tableau is dropped on the floor — never retired
+// to the shape-keyed stripes, where another session could inherit it —
+// and replaced with a fresh cold solver, so the session's next solve
+// re-primes from scratch and later solves warm up again on clean state.
+// Quarantining an unknown or dropped key is a no-op. Callers must not
+// hold the session's solve in progress (the panic has already unwound
+// it).
+func (p *WarmPool) QuarantineSession(key string) {
+	p.smu.Lock()
+	slot := p.sessions[key]
+	p.smu.Unlock()
+	if slot == nil {
+		return
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.dropped {
+		return
+	}
+	slot.sv = NewSolver()
+}
+
 // Sessions returns the number of live session keys.
 func (p *WarmPool) Sessions() int {
 	p.smu.Lock()

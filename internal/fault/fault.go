@@ -1,0 +1,333 @@
+// Package fault is a deterministic fault-injection framework for the
+// serving stack's chaos tests. Code under test declares named injection
+// points at its failure seams (Register, typically in a package-level
+// var); production code then calls Point.Hit on the hot path, which is
+// a single atomic pointer load returning nil while no plan is active.
+// Tests (or cmd/dmcd via FromEnv) Activate a Plan that makes points
+// fire errors, panics, or added latency with per-point probabilities.
+//
+// Decisions are seed-keyed and counter-based: the k-th hit of a point
+// draws from a PRNG stream derived from (plan seed, point name, k), so
+// a given plan produces the same decision sequence per point on every
+// run regardless of wall-clock timing. Under concurrency the
+// interleaving of which goroutine receives which decision is scheduler
+// dependent, but the multiset of decisions is not — which is what the
+// chaos invariants need to be reproducible.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the failure mode an injection point fires.
+type Kind uint8
+
+const (
+	// Error makes Hit return ErrInjected.
+	Error Kind = iota + 1
+	// Panic makes Hit panic with a *PanicValue.
+	Panic
+	// Latency makes Hit sleep for Spec.Latency and then return nil.
+	Latency
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Latency:
+		return "latency"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the error an Error-kind injection returns. Callers
+// treat it like any other failure of the seam; tests detect injected
+// faults with errors.Is.
+var ErrInjected = fmt.Errorf("fault: injected error")
+
+// PanicValue is the value a Panic-kind injection panics with, so
+// recovery layers (and tests) can tell an injected panic from a real
+// one.
+type PanicValue struct {
+	// Point is the name of the injection point that fired.
+	Point string
+}
+
+func (p *PanicValue) String() string { return "fault: injected panic at " + p.Point }
+
+// Spec is one failure mode with its firing probability. A point
+// evaluates its specs in order and fires the first whose draw lands
+// under Prob, so earlier specs shadow later ones only on the hits they
+// consume.
+type Spec struct {
+	Kind Kind
+	// Prob is the per-hit firing probability in [0, 1].
+	Prob float64
+	// Latency is the injected delay (Latency kind only).
+	Latency time.Duration
+}
+
+// Plan describes which points fire and how. Activate installs it
+// globally; the zero value (no specs) injects nothing.
+type Plan struct {
+	// Seed keys every point's decision stream.
+	Seed uint64
+	// Default applies to every registered point without a Points entry.
+	Default []Spec
+	// Points maps a point name to its specs, overriding Default.
+	Points map[string][]Spec
+}
+
+// specsFor returns the plan's specs for a point name.
+func (p *Plan) specsFor(name string) []Spec {
+	if s, ok := p.Points[name]; ok {
+		return s
+	}
+	return p.Default
+}
+
+// active is the compiled state a point consults per hit: nil means
+// injection is off and Hit returns immediately.
+type active struct {
+	seed  uint64
+	specs []Spec
+}
+
+// Point is one named injection seam. Obtain with Register; call Hit at
+// the seam.
+type Point struct {
+	name string
+	key  uint64 // FNV-1a of name, folded into the decision stream
+
+	act   atomic.Pointer[active]
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Name returns the point's registered name.
+func (pt *Point) Name() string { return pt.name }
+
+// Hit consults the active plan: it returns nil with no (or no firing)
+// injection, returns ErrInjected for an Error spec, panics with a
+// *PanicValue for a Panic spec, and sleeps then returns nil for a
+// Latency spec. The disabled fast path is one atomic load and a nil
+// check.
+func (pt *Point) Hit() error {
+	a := pt.act.Load()
+	if a == nil {
+		return nil
+	}
+	n := pt.hits.Add(1) - 1
+	// One PRNG stream per (seed, point, hit): mix and advance with
+	// splitmix64, one step per spec.
+	x := splitmix64(a.seed ^ pt.key ^ (n * 0x9e3779b97f4a7c15))
+	for _, sp := range a.specs {
+		x = splitmix64(x)
+		if unit(x) >= sp.Prob {
+			continue
+		}
+		pt.fired.Add(1)
+		switch sp.Kind {
+		case Panic:
+			panic(&PanicValue{Point: pt.name})
+		case Latency:
+			time.Sleep(sp.Latency)
+			return nil
+		default:
+			return fmt.Errorf("%w at %s", ErrInjected, pt.name)
+		}
+	}
+	return nil
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a 64-bit draw to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// registry holds every Register'd point. Registration happens in
+// package-level var initializers; Activate then distributes the plan.
+var registry struct {
+	mu     sync.Mutex
+	points map[string]*Point
+}
+
+// Register declares (or returns the existing) injection point with the
+// given name. Call from a package-level var so the point exists before
+// any plan activates:
+//
+//	var fpInstall = fault.Register("lp.warm.install")
+func Register(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.points == nil {
+		registry.points = make(map[string]*Point)
+	}
+	if pt, ok := registry.points[name]; ok {
+		return pt
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	pt := &Point{name: name, key: h.Sum64()}
+	if pl := plan.Load(); pl != nil {
+		if specs := pl.specsFor(name); len(specs) > 0 {
+			pt.act.Store(&active{seed: pl.Seed, specs: specs})
+		}
+	}
+	registry.points[name] = pt
+	return pt
+}
+
+// Points returns the sorted names of every registered injection point.
+func Points() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.points))
+	for name := range registry.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// plan is the currently active plan (for points registered after
+// Activate, e.g. a package first touched mid-test).
+var plan atomic.Pointer[Plan]
+
+// Activate installs the plan on every registered point and resets the
+// hit counters, replacing any previous plan. A nil plan deactivates
+// (same as Deactivate).
+func Activate(p *Plan) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	plan.Store(p)
+	for name, pt := range registry.points {
+		pt.hits.Store(0)
+		pt.fired.Store(0)
+		if p == nil {
+			pt.act.Store(nil)
+			continue
+		}
+		if specs := p.specsFor(name); len(specs) > 0 {
+			pt.act.Store(&active{seed: p.Seed, specs: specs})
+		} else {
+			pt.act.Store(nil)
+		}
+	}
+}
+
+// Deactivate turns every injection point back into a no-op.
+func Deactivate() { Activate(nil) }
+
+// PointStats counts one point's traffic under the current plan (since
+// the last Activate).
+type PointStats struct {
+	// Hits counts Hit calls; Fired counts the ones that injected a
+	// fault (including latency).
+	Hits, Fired uint64
+}
+
+// Stats snapshots every registered point's counters.
+func Stats() map[string]PointStats {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]PointStats, len(registry.points))
+	for name, pt := range registry.points {
+		out[name] = PointStats{Hits: pt.hits.Load(), Fired: pt.fired.Load()}
+	}
+	return out
+}
+
+// Environment variables FromEnv reads.
+const (
+	// EnvPoints holds the injection spec list (see FromEnv).
+	EnvPoints = "DMC_FAULT_POINTS"
+	// EnvSeed holds the decision-stream seed (decimal; default 1).
+	EnvSeed = "DMC_FAULT_SEED"
+)
+
+// FromEnv builds a Plan from the process environment, for cmd/dmcd:
+//
+//	DMC_FAULT_POINTS="lp.warm.install:error:0.01,serve.exec:panic:0.001,*:latency:0.05:2ms"
+//	DMC_FAULT_SEED=42
+//
+// Each comma-separated entry is point:kind:prob[:latency]; the point
+// "*" sets the default for every registered point. Returns (nil, nil)
+// when EnvPoints is unset or empty — injection stays off.
+func FromEnv() (*Plan, error) {
+	raw := strings.TrimSpace(os.Getenv(EnvPoints))
+	if raw == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1, Points: make(map[string][]Spec)}
+	if s := strings.TrimSpace(os.Getenv(EnvSeed)); s != "" {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: parsing %s: %w", EnvSeed, err)
+		}
+		p.Seed = seed
+	}
+	for _, entry := range strings.Split(raw, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("fault: %s entry %q is not point:kind:prob[:latency]", EnvPoints, entry)
+		}
+		var sp Spec
+		switch parts[1] {
+		case "error":
+			sp.Kind = Error
+		case "panic":
+			sp.Kind = Panic
+		case "latency":
+			sp.Kind = Latency
+		default:
+			return nil, fmt.Errorf("fault: %s entry %q has unknown kind %q", EnvPoints, entry, parts[1])
+		}
+		prob, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || math.IsNaN(prob) || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("fault: %s entry %q probability must be in [0,1]", EnvPoints, entry)
+		}
+		sp.Prob = prob
+		if len(parts) >= 4 {
+			if sp.Kind != Latency {
+				return nil, fmt.Errorf("fault: %s entry %q: only latency takes a duration", EnvPoints, entry)
+			}
+			d, err := time.ParseDuration(parts[3])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: %s entry %q has a bad duration", EnvPoints, entry)
+			}
+			sp.Latency = d
+		} else if sp.Kind == Latency {
+			sp.Latency = time.Millisecond
+		}
+		if parts[0] == "*" {
+			p.Default = append(p.Default, sp)
+		} else {
+			p.Points[parts[0]] = append(p.Points[parts[0]], sp)
+		}
+	}
+	return p, nil
+}

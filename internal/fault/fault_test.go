@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// firePattern records which of the first n hits inject, for a fresh
+// counter sequence under the given plan.
+func firePattern(t *testing.T, pt *Point, p *Plan, n int) []bool {
+	t.Helper()
+	Activate(p)
+	defer Deactivate()
+	out := make([]bool, n)
+	for i := range out {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(*PanicValue); !ok {
+						t.Fatalf("panic value %T, want *PanicValue", r)
+					}
+					out[i] = true
+				}
+			}()
+			if err := pt.Hit(); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("Hit error %v, want ErrInjected", err)
+				}
+				out[i] = true
+			}
+		}()
+	}
+	return out
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	pt := Register("test.determinism")
+	plan := &Plan{Seed: 42, Points: map[string][]Spec{
+		"test.determinism": {{Kind: Error, Prob: 0.3}, {Kind: Panic, Prob: 0.2}},
+	}}
+	a := firePattern(t, pt, plan, 200)
+	b := firePattern(t, pt, plan, 200)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical plans: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// Combined firing probability is 1-(0.7*0.8) = 44%; 200 draws should
+	// land far from 0 and far from 200.
+	if fired < 40 || fired > 160 {
+		t.Errorf("fired %d/200 times under a 44%% plan", fired)
+	}
+	c := firePattern(t, pt, &Plan{Seed: 43, Points: plan.Points}, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("changing the seed did not change the decision sequence")
+	}
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	pt := Register("test.disabled")
+	Deactivate()
+	for i := 0; i < 100; i++ {
+		if err := pt.Hit(); err != nil {
+			t.Fatalf("Hit with no plan: %v", err)
+		}
+	}
+	if st := Stats()["test.disabled"]; st.Hits != 0 || st.Fired != 0 {
+		t.Errorf("disabled point counted hits: %+v", st)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	pt := Register("test.kinds")
+	always := func(k Kind, lat time.Duration) *Plan {
+		return &Plan{Seed: 7, Points: map[string][]Spec{
+			"test.kinds": {{Kind: k, Prob: 1, Latency: lat}},
+		}}
+	}
+
+	Activate(always(Error, 0))
+	if err := pt.Hit(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Error kind: err=%v, want ErrInjected", err)
+	}
+
+	Activate(always(Panic, 0))
+	func() {
+		defer func() {
+			pv, ok := recover().(*PanicValue)
+			if !ok || pv.Point != "test.kinds" {
+				t.Errorf("Panic kind recovered %v", pv)
+			}
+		}()
+		pt.Hit()
+		t.Error("Panic kind did not panic")
+	}()
+
+	Activate(always(Latency, 30*time.Millisecond))
+	start := time.Now()
+	if err := pt.Hit(); err != nil {
+		t.Errorf("Latency kind returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("Latency kind slept %v, want ~30ms", d)
+	}
+	Deactivate()
+
+	if st := Stats()["test.kinds"]; st.Hits != 3 || st.Fired != 3 {
+		// Counters reset on each Activate; the latency plan saw 1 hit.
+		if st.Fired != 0 {
+			t.Logf("stats after deactivate: %+v", st)
+		}
+	}
+}
+
+func TestDefaultAppliesToUnlistedPoints(t *testing.T) {
+	pt := Register("test.default")
+	Activate(&Plan{Seed: 3, Default: []Spec{{Kind: Error, Prob: 1}}})
+	defer Deactivate()
+	if err := pt.Hit(); !errors.Is(err, ErrInjected) {
+		t.Errorf("default spec did not apply: %v", err)
+	}
+	if st := Stats()["test.default"]; st.Hits != 1 || st.Fired != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 fired", st)
+	}
+}
+
+func TestRegisterAfterActivate(t *testing.T) {
+	Activate(&Plan{Seed: 9, Default: []Spec{{Kind: Error, Prob: 1}}})
+	defer Deactivate()
+	pt := Register("test.late-registration")
+	if err := pt.Hit(); !errors.Is(err, ErrInjected) {
+		t.Errorf("late-registered point missed the active plan: %v", err)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvPoints, "")
+	if p, err := FromEnv(); p != nil || err != nil {
+		t.Errorf("empty env: plan=%v err=%v", p, err)
+	}
+
+	t.Setenv(EnvPoints, "lp.warm.install:error:0.01,serve.exec:panic:0.001,*:latency:0.05:2ms")
+	t.Setenv(EnvSeed, "42")
+	p, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed %d, want 42", p.Seed)
+	}
+	if got := p.Points["lp.warm.install"]; len(got) != 1 || got[0].Kind != Error || got[0].Prob != 0.01 {
+		t.Errorf("lp.warm.install specs %+v", got)
+	}
+	if got := p.Points["serve.exec"]; len(got) != 1 || got[0].Kind != Panic || got[0].Prob != 0.001 {
+		t.Errorf("serve.exec specs %+v", got)
+	}
+	if len(p.Default) != 1 || p.Default[0].Kind != Latency || p.Default[0].Latency != 2*time.Millisecond {
+		t.Errorf("default specs %+v", p.Default)
+	}
+
+	for _, bad := range []string{
+		"nameonly",
+		"x:explode:0.5",
+		"x:error:1.5",
+		"x:error:nan",
+		"x:error:0.5:10ms",
+		"x:latency:0.5:-3ms",
+	} {
+		t.Setenv(EnvPoints, bad)
+		if _, err := FromEnv(); err == nil {
+			t.Errorf("FromEnv(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	Register("test.z")
+	Register("test.a")
+	names := Points()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Points() not sorted/deduped: %v", names)
+		}
+	}
+}

@@ -3,7 +3,13 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"dmc/internal/fault"
 )
+
+// fpAppend fires at the top of AppendSolve; every caller already falls
+// back to a full SolveWith on error.
+var fpAppend = fault.Register("lp.append")
 
 // AppendSolve re-optimizes the problem last solved on this Solver after
 // new structural columns were appended to it — the true incremental
@@ -28,6 +34,9 @@ import (
 // (the audit bounds the numerical drift a long append chain can
 // accumulate: a solution the raw problem rejects is never returned).
 func (s *Solver) AppendSolve(p *Problem, oldN int, opts Options) (*Solution, error) {
+	if err := fpAppend.Hit(); err != nil {
+		return nil, err
+	}
 	if !s.hot {
 		return nil, fmt.Errorf("lp: AppendSolve without a hot optimal tableau")
 	}

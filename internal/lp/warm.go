@@ -1,6 +1,15 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"dmc/internal/fault"
+)
+
+// fpWarmInstall fires at the top of installBasis; an injected error
+// reports installFailed (cold fallback), an injected panic unwinds
+// through Resolve like a real numerical crash would.
+var fpWarmInstall = fault.Register("lp.warm.install")
 
 // Basis is the optimal simplex basis of a solved Problem, captured on
 // Solution.Basis and reusable as Options.WarmBasis to warm-start a later
@@ -151,6 +160,9 @@ const dualPivotTol = 1e-6
 // feasibility is restored in roughly one pivot per violated row instead
 // of a cold restart from the all-slack basis: installRepaired.
 func (s *Solver) installBasis(b *Basis) installResult {
+	if fpWarmInstall.Hit() != nil {
+		return installFailed
+	}
 	if cap(s.rowTaken) < s.m {
 		s.rowTaken = make([]bool, s.m)
 	}

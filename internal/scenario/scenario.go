@@ -194,6 +194,24 @@ type SolveRequest struct {
 	Solve
 	SessionID string `json:"session_id,omitempty"`
 	Estimator bool   `json:"estimator,omitempty"`
+	// BudgetMs is the client's deadline budget for this request in
+	// milliseconds: a solve still queued when the budget expires is shed
+	// with 504 instead of burning solver capacity on an answer the
+	// client can no longer use. Zero (or absent) means the server's
+	// maximum budget applies; the server caps explicit budgets at that
+	// maximum too.
+	BudgetMs float64 `json:"budget_ms,omitempty"`
+}
+
+// Validate extends Solve.Validate with the request-level fields.
+func (r SolveRequest) Validate() error {
+	if err := r.Solve.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(r.BudgetMs) || math.IsInf(r.BudgetMs, 0) || r.BudgetMs < 0 {
+		return fmt.Errorf("scenario: budget_ms %v must be a finite non-negative number", r.BudgetMs)
+	}
+	return nil
 }
 
 // Share is one path combination's traffic share on the wire.
@@ -283,6 +301,10 @@ type SolveResponse struct {
 	// Result is the current strategy (nil from /v1/observe before the
 	// first solve).
 	Result *SolveResult `json:"result,omitempty"`
+	// Degraded marks a stale answer: the session's shard breaker was
+	// open and the server replied with the session's last good strategy
+	// instead of solving. Degraded responses are never Resolved.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PathObservation carries one path's §VIII-A measurements for a session

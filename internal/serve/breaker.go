@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is a shard circuit breaker's position.
+type breakerState int32
+
+const (
+	// breakerClosed admits everything (normal operation).
+	breakerClosed breakerState = iota
+	// breakerOpen rejects everything until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen admits one probe; its outcome decides the state.
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker over solver faults (HTTP 5xx
+// verdicts — client-caused 4xx outcomes never count). threshold
+// consecutive faults trip it open: requests fail fast with 503 +
+// Retry-After instead of queueing behind a solver that keeps dying.
+// After cooldown one probe request is admitted (half-open); a probe
+// success closes the breaker, a probe fault re-opens it for another
+// cooldown. A threshold <= 0 disables the breaker entirely.
+//
+// Allow's fast path while closed is one atomic load; the mutex guards
+// only state transitions and the open/half-open trickle.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state atomic.Int32 // breakerState
+
+	mu       sync.Mutex
+	consec   int       // consecutive faults while closed
+	openedAt time.Time // when the breaker last tripped
+	probes   int       // probes in flight while half-open
+
+	openTotal atomic.Uint64 // closed->open transitions, for /metrics
+}
+
+// allow reports whether a request may proceed. While open it admits
+// nothing until cooldown has elapsed, then flips to half-open and
+// admits a single probe.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 || breakerState(b.state.Load()) == breakerClosed {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch breakerState(b.state.Load()) {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state.Store(int32(breakerHalfOpen))
+		b.probes = 1
+		return true
+	default: // half-open
+		if b.probes >= 1 {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// onSuccess records a non-fault outcome (success or a client-caused
+// 4xx): it resets the fault run and closes a half-open breaker.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	if breakerState(b.state.Load()) == breakerHalfOpen {
+		b.state.Store(int32(breakerClosed))
+	}
+}
+
+// onFault records a solver fault. While closed it trips the breaker at
+// threshold consecutive faults; while half-open the failed probe
+// re-opens immediately.
+func (b *breaker) onFault() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch breakerState(b.state.Load()) {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// onSkip returns an admitted-but-unjudged slot (the task was shed as
+// expired or abandoned before solving), so a half-open breaker's probe
+// budget is not consumed by work that never reached the solver.
+func (b *breaker) onSkip() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if breakerState(b.state.Load()) == breakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state.Store(int32(breakerOpen))
+	b.openedAt = time.Now()
+	b.consec = 0
+	b.probes = 0
+	b.openTotal.Add(1)
+}
+
+// snapshot returns the current state without taking the transition
+// mutex (metrics read).
+func (b *breaker) snapshot() breakerState {
+	if b.threshold <= 0 {
+		return breakerClosed
+	}
+	return breakerState(b.state.Load())
+}

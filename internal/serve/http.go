@@ -65,6 +65,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sh *shard, t *ta
 	case errors.Is(err, errClosed):
 		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
 		return nil
+	case errors.Is(err, errBreakerOpen):
+		// Hand the breaker verdict back as a result so the handler can
+		// choose between 503 + Retry-After and a degraded last-good
+		// answer.
+		return &taskResult{err: errBreakerOpen}
 	default:
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(sh)))
 		writeErr(w, http.StatusTooManyRequests, "serve: shard %d queue full", sh.idx)
@@ -74,8 +79,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sh *shard, t *ta
 	case res := <-t.done:
 		return &res
 	case <-r.Context().Done():
-		// The client is gone; the wave still completes the solve (warm
-		// state advances) and the buffered done send cannot block.
+		// The client is gone: mark the task so the wave sheds it without
+		// solver work. The buffered done send cannot block either way.
+		t.abandoned.Store(true)
 		return nil
 	}
 }
@@ -92,11 +98,42 @@ func solveStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, errDropped):
 		return http.StatusGone
-	case errors.Is(err, errClosed):
+	case errors.Is(err, errClosed), errors.Is(err, errBreakerOpen):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errExpired):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// isServerFault reports whether err should count against the shard's
+// circuit breaker: only genuine solver-side 500s do. Client-caused
+// verdicts (4xx), shed/abandoned tasks, and shutdown are not evidence
+// the solver is unhealthy.
+func isServerFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	return solveStatus(err) == http.StatusInternalServerError
+}
+
+// writeSolveErr writes a solve error with its mapped status, attaching
+// Retry-After to the verdicts that carry one (breaker open, expired
+// budget).
+func (s *Server) writeSolveErr(w http.ResponseWriter, sh *shard, err error) {
+	status := solveStatus(err)
+	switch {
+	case errors.Is(err, errBreakerOpen):
+		secs := int(s.cfg.BreakerCooldown / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, errExpired):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(sh)))
+	}
+	writeErr(w, status, "%v", err)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +172,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		net:        net,
 		objective:  obj,
 		minQuality: req.MinQuality,
+		deadline:   s.deadlineFor(req.BudgetMs),
 	}
 	if req.Timeout != nil {
 		t.toOpts = req.Timeout.Options()
@@ -150,8 +188,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if res == nil {
 		return
 	}
+	if errors.Is(res.err, errBreakerOpen) && s.cfg.ServeDegraded && t.sess != nil {
+		// The breaker protects capacity, not correctness: a stale
+		// strategy for a drifting network usually beats no strategy, so
+		// opt-in degraded mode answers from the session's last good
+		// solve while the shard recovers.
+		if lg := t.sess.lastGoodResult(); lg != nil {
+			sh.met.degraded.Add(1)
+			writeJSON(w, http.StatusOK, scenario.SolveResponse{
+				SessionID: req.SessionID,
+				Resolved:  false,
+				Result:    lg,
+				Degraded:  true,
+			})
+			return
+		}
+	}
 	if res.err != nil {
-		writeErr(w, solveStatus(res.err), "%v", res.err)
+		s.writeSolveErr(w, sh, res.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, scenario.SolveResponse{
@@ -211,12 +265,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	se.mu.Unlock()
 
-	res := s.submit(w, r, se.sh, &task{kind: taskPoll, sess: se})
+	res := s.submit(w, r, se.sh, &task{kind: taskPoll, sess: se, deadline: s.deadlineFor(0)})
 	if res == nil {
 		return
 	}
 	if res.err != nil {
-		writeErr(w, solveStatus(res.err), "%v", res.err)
+		s.writeSolveErr(w, se.sh, res.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, scenario.SolveResponse{
@@ -240,5 +294,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "serve: shutting down")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// A single open breaker degrades one shard; every breaker open means
+	// no request can be served at all — that is a liveness failure.
+	breakers := make([]string, len(s.shards))
+	allOpen := len(s.shards) > 0
+	for i, sh := range s.shards {
+		st := sh.brk.snapshot()
+		breakers[i] = st.String()
+		if st != breakerOpen {
+			allOpen = false
+		}
+	}
+	body := map[string]any{"status": "ok", "breakers": breakers}
+	if allOpen {
+		body["status"] = "unhealthy: every shard breaker open"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }

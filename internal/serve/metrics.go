@@ -85,6 +85,15 @@ type shardMetrics struct {
 	waves    atomic.Uint64
 	buckets  [latBuckets]atomic.Uint64
 	rate     rateWindow
+
+	// Failure-containment counters (the tentpole's ledger): recovered
+	// solver panics, tasks shed for an expired deadline budget, tasks
+	// dropped because the client disconnected while queued, and degraded
+	// (stale-but-served) responses while the breaker was open.
+	panics         atomic.Uint64
+	shedExpired    atomic.Uint64
+	abandonedTasks atomic.Uint64
+	degraded       atomic.Uint64
 }
 
 // observe records one completed task.
@@ -147,6 +156,21 @@ type ShardMetrics struct {
 	Errors      uint64  `json:"errors"`
 	// Rejected counts tasks turned away by admission control (HTTP 429).
 	Rejected uint64 `json:"rejected"`
+	// Panics counts recovered solver panics (each one a 500 + a
+	// quarantined session solver); the shard worker survived them all.
+	Panics uint64 `json:"panics"`
+	// ShedExpired counts tasks shed because their deadline budget ran
+	// out while queued (HTTP 504); Abandoned counts tasks dropped
+	// because their client disconnected before a wave reached them.
+	ShedExpired uint64 `json:"shed_expired"`
+	Abandoned   uint64 `json:"abandoned"`
+	// BreakerState is the shard circuit breaker's current position
+	// (closed, open, half-open); BreakerOpenTotal counts how many times
+	// it tripped. DegradedServed counts stale last-good responses served
+	// while open.
+	BreakerState     string `json:"breaker_state"`
+	BreakerOpenTotal uint64 `json:"breaker_open_total"`
+	DegradedServed   uint64 `json:"degraded_served"`
 	// SolvesPerSec is the completion rate over a sliding 10 s window.
 	SolvesPerSec float64 `json:"solves_per_sec"`
 	// P50Ms/P99Ms are enqueue-to-completion latency quantiles (ms).
@@ -173,17 +197,23 @@ func (s *Server) Metrics() Metrics {
 		m := &sh.met
 		solves := m.solves.Load()
 		sm := ShardMetrics{
-			Shard:        i,
-			Sessions:     sh.pool.Sessions(),
-			QueueDepth:   len(sh.reqs),
-			Solves:       solves,
-			Waves:        m.waves.Load(),
-			WarmSolves:   m.warm.Load(),
-			Errors:       m.errors.Load(),
-			Rejected:     m.rejected.Load(),
-			SolvesPerSec: m.rate.perSec(now),
-			P50Ms:        float64(m.quantile(0.50)) / float64(time.Millisecond),
-			P99Ms:        float64(m.quantile(0.99)) / float64(time.Millisecond),
+			Shard:            i,
+			Sessions:         sh.pool.Sessions(),
+			QueueDepth:       len(sh.reqs),
+			Solves:           solves,
+			Waves:            m.waves.Load(),
+			WarmSolves:       m.warm.Load(),
+			Errors:           m.errors.Load(),
+			Rejected:         m.rejected.Load(),
+			Panics:           m.panics.Load(),
+			ShedExpired:      m.shedExpired.Load(),
+			Abandoned:        m.abandonedTasks.Load(),
+			BreakerState:     sh.brk.snapshot().String(),
+			BreakerOpenTotal: sh.brk.openTotal.Load(),
+			DegradedServed:   m.degraded.Load(),
+			SolvesPerSec:     m.rate.perSec(now),
+			P50Ms:            float64(m.quantile(0.50)) / float64(time.Millisecond),
+			P99Ms:            float64(m.quantile(0.99)) / float64(time.Millisecond),
 		}
 		if solves > 0 {
 			sm.WarmHitRate = float64(sm.WarmSolves) / float64(solves)

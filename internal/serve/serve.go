@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,8 +30,15 @@ import (
 	"dmc/internal/conc"
 	"dmc/internal/core"
 	"dmc/internal/estimate"
+	"dmc/internal/fault"
 	"dmc/internal/scenario"
 )
+
+// fpExec fires in exec just before the solve, the serving stack's own
+// injection seam: errors surface as 500s (and count against the shard
+// breaker), panics exercise the full containment path, latency widens
+// waves.
+var fpExec = fault.Register("serve.exec")
 
 // Config tunes a Server. The zero value selects production defaults.
 type Config struct {
@@ -49,6 +58,23 @@ type Config struct {
 	// tolerance (estimate.Adaptor.RelTol). Zero keeps the adaptor
 	// default (10%).
 	EstimatorRelTol float64
+	// MaxBudget caps per-request deadline budgets and is the default
+	// for requests that set none: a task still queued past its deadline
+	// is shed with 504 instead of burning solver capacity. Zero means
+	// 30s; negative disables the default (only explicit budget_ms
+	// requests get deadlines, uncapped).
+	MaxBudget time.Duration
+	// BreakerThreshold is the consecutive-solver-fault count that trips
+	// a shard's circuit breaker open (fast 503s, no queue occupancy).
+	// Zero means 8; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting a half-open probe. Zero means 2s.
+	BreakerCooldown time.Duration
+	// ServeDegraded serves a session's last good strategy (marked
+	// "degraded": true) instead of a 503 while its shard's breaker is
+	// open.
+	ServeDegraded bool
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +90,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
 	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	return c
 }
 
@@ -75,6 +110,34 @@ var errSaturated = errors.New("serve: queue full")
 
 // errDropped rejects tasks whose session was dropped while they queued.
 var errDropped = errors.New("serve: session dropped")
+
+// errExpired sheds tasks whose deadline budget ran out while queued
+// (HTTP 504 + Retry-After); the solver never sees them.
+var errExpired = errors.New("serve: deadline budget expired in queue")
+
+// errBreakerOpen fails requests fast while the shard's circuit breaker
+// is open (HTTP 503 + Retry-After); they never occupy the queue.
+var errBreakerOpen = errors.New("serve: shard circuit breaker open")
+
+// errAbandoned marks tasks whose client disconnected while they queued;
+// nobody reads the result, the error only keeps the ledger honest.
+var errAbandoned = errors.New("serve: request abandoned by client")
+
+// SolverPanic is the typed error a recovered solver panic becomes: the
+// client sees a 500 with the panic value, the stack goes to the log
+// (first occurrence) and the panics metric, and the session's warm
+// solver is quarantined.
+type SolverPanic struct {
+	// Session is the poisoned session's ID ("" for one-shot solves).
+	Session string
+	// Value is the original panic value; Stack the panicking stack.
+	Value any
+	Stack []byte
+}
+
+func (e *SolverPanic) Error() string {
+	return fmt.Sprintf("serve: solver panic: %v", e.Value)
+}
 
 type taskKind uint8
 
@@ -98,6 +161,24 @@ type task struct {
 
 	done chan taskResult // buffered(1): exec never blocks on a gone client
 	enq  time.Time
+
+	// deadline is when the task's budget expires (zero = none): a wave
+	// reaching it after expiry sheds the task without solver work.
+	deadline time.Time
+	// abandoned is set by submit when the client disconnects, so the
+	// wave drops the task cheaply instead of solving for nobody.
+	abandoned atomic.Bool
+	// delivered guards done so the normal path and the wave-panic sweep
+	// can both try to deliver without double-sending.
+	delivered atomic.Bool
+}
+
+// deliver sends the task's result exactly once; later deliveries are
+// dropped on the floor.
+func (t *task) deliver(r taskResult) {
+	if t.delivered.CompareAndSwap(false, true) {
+		t.done <- r
+	}
 }
 
 type taskResult struct {
@@ -118,9 +199,25 @@ type session struct {
 	mu      sync.Mutex
 	adaptor *estimate.Adaptor
 	dropped bool
+	// lastGood is the session's most recent successful wire result, the
+	// stale answer ServeDegraded falls back to while the shard's
+	// breaker is open. It is a self-contained copy (NewSolveResult
+	// extracts), so serving it never races solver storage.
+	lastGood *scenario.SolveResult
 }
 
-// shard is one WarmPool plus its admission queue and worker.
+// lastGoodResult returns the session's last good result, or nil.
+func (se *session) lastGoodResult() *scenario.SolveResult {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.dropped {
+		return nil
+	}
+	return se.lastGood
+}
+
+// shard is one WarmPool plus its admission queue, worker, and circuit
+// breaker.
 type shard struct {
 	idx   int
 	pool  *core.WarmPool
@@ -128,6 +225,7 @@ type shard struct {
 	stop  chan struct{}
 	batch []*task // wave scratch, touched only by the shard worker
 	met   shardMetrics
+	brk   breaker
 }
 
 // Server is the online solver service. Create with New, serve HTTP via
@@ -145,6 +243,18 @@ type Server struct {
 	closed    atomic.Bool
 	admitMu   sync.RWMutex // held shared across enqueue's closed-check + send; exclusively by Close's barrier
 	wg        sync.WaitGroup
+
+	// panicLog rate-limits panic stacks to one full log line per server;
+	// every later panic only bumps the shard's panics counter.
+	panicLog sync.Once
+}
+
+// logPanic logs the first solver panic's full stack; the rest are
+// counted silently (the panics metric carries the rate).
+func (s *Server) logPanic(sp *SolverPanic) {
+	s.panicLog.Do(func() {
+		log.Printf("serve: solver panic (session %q): %v\n%s", sp.Session, sp.Value, sp.Stack)
+	})
 }
 
 // New starts a Server: cfg.Shards WarmPool shards, each with a running
@@ -164,6 +274,7 @@ func New(cfg Config) *Server {
 			pool: core.NewWarmPool(),
 			reqs: make(chan *task, cfg.MaxQueue),
 			stop: make(chan struct{}),
+			brk:  breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 		}
 		s.shards[i] = sh
 		s.wg.Add(1)
@@ -246,13 +357,34 @@ func (s *Server) enqueue(sh *shard, t *task) error {
 	if s.closed.Load() {
 		return errClosed
 	}
+	if !sh.brk.allow() {
+		return errBreakerOpen
+	}
 	select {
 	case sh.reqs <- t:
 		return nil
 	default:
+		// A half-open probe slot granted by allow must be returned, or a
+		// saturated queue would wedge the breaker half-open forever.
+		sh.brk.onSkip()
 		sh.met.rejected.Add(1)
 		return errSaturated
 	}
+}
+
+// deadlineFor turns a request's budget_ms into an absolute deadline:
+// the client's budget capped by MaxBudget, MaxBudget itself when the
+// request sets none, and no deadline at all (zero time) when deadlines
+// are disabled (negative MaxBudget) and the request asked for nothing.
+func (s *Server) deadlineFor(budgetMs float64) time.Time {
+	budget := s.cfg.MaxBudget
+	if d := time.Duration(budgetMs * float64(time.Millisecond)); budgetMs > 0 && (d < budget || budget < 0) {
+		budget = d
+	}
+	if budget < 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(budget)
 }
 
 // retryAfter estimates how long a rejected caller should back off:
@@ -303,18 +435,45 @@ func (s *Server) runShard(sh *shard) {
 	for {
 		select {
 		case t := <-sh.reqs:
-			s.wave(sh, t)
+			s.safeWave(sh, t)
 		case <-sh.stop:
 			for {
 				select {
 				case t := <-sh.reqs:
-					s.wave(sh, t)
+					s.safeWave(sh, t)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// safeWave is the shard worker's last line of defense: exec recovers
+// panics per task, so nothing should escape a wave — but if something
+// does (a panic in wave assembly itself), the worker must not die with
+// callers parked on t.done. Every undelivered task in the wave gets the
+// panic as its error, and the worker loop continues.
+func (s *Server) safeWave(sh *shard, first *task) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		sp := &SolverPanic{Value: p, Stack: debug.Stack()}
+		if pe, ok := p.(*conc.PanicError); ok {
+			sp = &SolverPanic{Value: pe.Value, Stack: pe.Stack}
+		}
+		sh.met.panics.Add(1)
+		s.logPanic(sp)
+		first.deliver(taskResult{err: sp})
+		for _, t := range sh.batch {
+			// Tasks from an already-completed wave are skipped by the
+			// delivered guard.
+			t.deliver(taskResult{err: sp})
+		}
+	}()
+	s.wave(sh, first)
 }
 
 // wave coalesces up to MaxBatch tasks — waiting at most BatchWindow for
@@ -373,22 +532,64 @@ func (s *Server) wave(sh *shard, first *task) {
 	})
 }
 
-// exec runs one task and delivers its result.
+// exec runs one task and delivers its result. Shedding happens here,
+// after queueing and before solver work: abandoned tasks (client gone)
+// and expired budgets cost nothing but the check. Any panic below —
+// injected or real — is contained to this task: the session path
+// quarantines its solver in solveTask's recover, everything else is
+// caught by the outer recover, and either way the caller gets a typed
+// 500 and the wave rolls on.
 func (s *Server) exec(sh *shard, t *task) {
+	if t.abandoned.Load() {
+		sh.met.abandonedTasks.Add(1)
+		sh.brk.onSkip()
+		t.deliver(taskResult{err: errAbandoned})
+		return
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		sh.met.shedExpired.Add(1)
+		sh.brk.onSkip()
+		t.deliver(taskResult{err: errExpired})
+		return
+	}
 	var r taskResult
-	r.res, r.resolved, r.err = s.solveTask(sh, t)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if sp, ok := p.(*SolverPanic); ok {
+					r = taskResult{err: sp}
+					return
+				}
+				r = taskResult{err: &SolverPanic{Value: p, Stack: debug.Stack()}}
+			}
+		}()
+		if err := fpExec.Hit(); err != nil {
+			r.err = fmt.Errorf("serve: exec: %w", err)
+			return
+		}
+		r.res, r.resolved, r.err = s.solveTask(sh, t)
+	}()
+	var sp *SolverPanic
+	if errors.As(r.err, &sp) {
+		sh.met.panics.Add(1)
+		s.logPanic(sp)
+	}
+	if isServerFault(r.err) {
+		sh.brk.onFault()
+	} else {
+		sh.brk.onSuccess()
+	}
 	sh.met.observe(time.Since(t.enq), r.res.Warm, r.err != nil)
-	t.done <- r
+	t.deliver(r)
 }
 
 // solveTask executes a task against its session's warm solver (or the
 // package-level pooled solvers for one-shots). The wire result is
 // extracted while the session lock is held, so a same-session re-solve
 // can never rebuild the solver storage under the extraction.
-func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, error) {
+func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolved bool, err error) {
 	var to *core.Timeouts
 	if t.kind == taskSolve && t.objective == scenario.ObjectiveRandom {
-		var err error
 		to, err = s.tcache.OptimalTimeouts(t.net, t.toOpts)
 		if err != nil {
 			return scenario.SolveResult{}, false, err
@@ -400,6 +601,21 @@ func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, erro
 	se := t.sess
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	// Registered after the unlock defer, so this recover runs FIRST
+	// (LIFO) — while se.mu is still held. A panic anywhere in the
+	// session solve leaves the warm solver in an unknown state:
+	// quarantine it (next solve re-primes cold on a fresh solver) and
+	// detach any estimator feed whose adaptor shared the lineage. The
+	// slot mutex inside QuarantineSession is free by now — the panic
+	// already unwound solveSession's critical section.
+	defer func() {
+		if p := recover(); p != nil {
+			se.sh.pool.QuarantineSession(se.id)
+			se.adaptor = nil
+			res, resolved = scenario.SolveResult{}, false
+			err = &SolverPanic{Session: se.id, Value: p, Stack: debug.Stack()}
+		}
+	}()
 	if se.dropped {
 		return scenario.SolveResult{}, false, errDropped
 	}
@@ -412,7 +628,9 @@ func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, erro
 		if err != nil {
 			return scenario.SolveResult{}, false, err
 		}
-		return scenario.NewSolveResult(sol, nil), resolved, nil
+		res := scenario.NewSolveResult(sol, nil)
+		se.lastGood = &res
+		return res, resolved, nil
 	}
 
 	if t.estimator {
@@ -432,14 +650,15 @@ func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, erro
 			return scenario.SolveResult{}, false, err
 		}
 		se.adaptor = ad
-		return scenario.NewSolveResult(sol, nil), true, nil
+		res := scenario.NewSolveResult(sol, nil)
+		se.lastGood = &res
+		return res, true, nil
 	}
 	// An explicit plain solve supersedes any estimator feed: the client
 	// has switched to driving re-solves itself.
 	se.adaptor = nil
 
 	var sol *core.Solution
-	var err error
 	switch t.objective {
 	case scenario.ObjectiveMinCost:
 		sol, err = se.sh.pool.SolveSessionMinCost(se.id, t.net, t.minQuality)
@@ -451,7 +670,9 @@ func (s *Server) solveTask(sh *shard, t *task) (scenario.SolveResult, bool, erro
 	if err != nil {
 		return scenario.SolveResult{}, false, err
 	}
-	return scenario.NewSolveResult(sol, to), true, nil
+	out := scenario.NewSolveResult(sol, to)
+	se.lastGood = &out
+	return out, true, nil
 }
 
 // oneShot solves a session-less task on the package-level pooled
