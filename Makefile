@@ -7,15 +7,26 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test chaos-smoke fuzz-smoke bench-smoke bench run-dmcd ci
+.PHONY: all build vet lint fmt-check test chaos-smoke fuzz-smoke bench-smoke bench run-dmcd ci
 
-all: build vet fmt-check test
+all: build vet lint fmt-check test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The project's own analyzer suite (cmd/dmclint): faultpoint, lockheld,
+# poolescape, atomicmix — see the "Static analysis" section of the
+# README. staticcheck and govulncheck run when installed (CI installs
+# them; offline checkouts skip without failing).
+lint:
+	$(GO) run ./cmd/dmclint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed; skipping"; fi
 
 # Fails (and lists the offenders) when any file needs gofmt.
 fmt-check:

@@ -1,0 +1,246 @@
+// Command dmclint runs the project's analyzer suite
+// (internal/analysis/dmclint): faultpoint, lockheld, poolescape, and
+// atomicmix — the machine-checked forms of the repo's fault-injection,
+// lock-discipline, pool-aliasing, and atomic-access invariants.
+//
+// Standalone mode loads whole packages and runs module-global checks:
+//
+//	go run ./cmd/dmclint ./...          # what `make lint` does
+//	go run ./cmd/dmclint ./internal/serve
+//
+// It exits 1 when any diagnostic is reported, 2 on operational errors.
+//
+// The same binary speaks the `go vet -vettool` protocol, which
+// additionally covers test compilations (standalone mode sees the same
+// compilations `go build` does):
+//
+//	go build -o dmclint ./cmd/dmclint
+//	go vet -vettool=$(pwd)/dmclint ./...
+//
+// Vet units analyze one package per process, so the module-global
+// Finish checks (cross-package fault-point uniqueness) run only in
+// standalone mode; facts still flow between vet units through .vetx
+// files.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dmc/internal/analysis/dmcana"
+	"dmc/internal/analysis/dmclint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// `go vet` handshake: -V=full keys the build cache on the tool's
+	// identity — a hash of the executable, so a rebuilt tool invalidates
+	// cached vet results; -flags asks which flags the tool accepts
+	// (none).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("%s version devel buildID=%s\n", progname(), selfID())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	// Standalone: load the named patterns (default ./...) and run the
+	// full suite, Finish hooks included.
+	patterns := args
+	m, err := dmcana.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := dmcana.Run(m, dmclint.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func progname() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// selfID hashes the running executable, giving `go vet` a cache key
+// that changes exactly when the tool's code does.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:16])
+}
+
+// vetConfig is the unit description `go vet` hands the tool (the fields
+// cmd/go's work.VetFlags writes that this driver consumes).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxFile is what one unit persists for its dependents: the analyzed
+// package's facts, keyed by analyzer name. Concrete fact types are
+// gob-registered from each Analyzer.FactType.
+type vetxFile struct {
+	Facts map[string]any
+}
+
+// vetUnit analyzes one package under the `go vet -vettool` protocol and
+// returns the process exit code: 0 clean, 2 diagnostics (vet's
+// convention), 1 operational failure.
+func vetUnit(cfgPath string) int {
+	for _, a := range dmclint.All {
+		if a.FactType != nil {
+			gob.Register(a.FactType)
+		}
+	}
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dmclint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already compiled,
+	// after canonicalizing through ImportMap (vendoring, "C", test
+	// variants).
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("dmclint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := dmcana.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Seed dependency facts from the .vetx files of units that already
+	// ran (cmd/go schedules dependencies first).
+	facts := dmcana.NewFactSet()
+	for depPath, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue // no facts recorded for that dependency
+		}
+		var vf vetxFile
+		err = gob.NewDecoder(f).Decode(&vf)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmclint: decoding facts %s: %v\n", vetx, err)
+			return 1
+		}
+		for analyzer, v := range vf.Facts {
+			facts.Put(analyzer, depPath, v)
+		}
+	}
+
+	m := &dmcana.Module{Fset: fset, Pkgs: []*dmcana.Package{{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}}}
+	diags, err := dmcana.RunPackages(m, dmclint.All, facts, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if cfg.VetxOutput != "" {
+		vf := vetxFile{Facts: map[string]any{}}
+		for _, a := range dmclint.All {
+			if v, ok := facts.Get(a.Name, cfg.ImportPath); ok {
+				vf.Facts[a.Name] = v
+			}
+		}
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := gob.NewEncoder(f).Encode(&vf); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}

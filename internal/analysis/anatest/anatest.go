@@ -1,0 +1,262 @@
+// Package anatest is a golden-fixture harness for dmcana analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a testdata/src
+// tree acts as a miniature GOPATH of fixture packages, and expectations
+// are written next to the offending line as
+//
+//	var bad = fault.Register(name()) // want `must be a constant`
+//
+// Each `// want` comment carries one or more double-quoted or
+// backquoted regular expressions, matched against the messages of the
+// diagnostics reported on that line. Diagnostics without a matching
+// want, and wants without a matching diagnostic, fail the test.
+//
+// Fixture packages may import each other by path (stubs of real module
+// packages, e.g. dmc/internal/fault, live in the tree under exactly
+// that path) and may import the standard library, which resolves
+// through the toolchain's export data.
+package anatest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmc/internal/analysis/dmcana"
+)
+
+// Run loads the fixture packages named by pkgPaths (and, recursively,
+// every fixture package they import) from testdata/src, runs the
+// analyzer over them in dependency order with facts flowing, and
+// compares the diagnostics against the tree's `// want` comments.
+func Run(t *testing.T, testdata string, a *dmcana.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*dmcana.Package),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", stdExport)
+	var ordered []*dmcana.Package
+	l.ordered = &ordered
+	for _, path := range pkgPaths {
+		if _, err := l.load(path); err != nil {
+			t.Fatalf("anatest: %v", err)
+		}
+	}
+
+	m := &dmcana.Module{Fset: l.fset, Pkgs: ordered}
+	diags, err := dmcana.Run(m, []*dmcana.Analyzer{a})
+	if err != nil {
+		t.Fatalf("anatest: %v", err)
+	}
+	match(t, l, diags)
+}
+
+// loader loads fixture packages from a testdata/src tree, memoized,
+// recording finish order (= dependency order).
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*dmcana.Package
+	imp     types.Importer
+	ordered *[]*dmcana.Package
+	loading []string // cycle detection, in recursion order
+}
+
+// load returns the fixture package at the given import path, loading it
+// (and its fixture dependencies) on first use.
+func (l *loader) load(path string) (*dmcana.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q (%s)", path, strings.Join(l.loading, " -> "))
+		}
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", path, err)
+	}
+	l.pkgs[path] = nil // in progress
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	// Fixture dependencies load (and analyze) before their dependents.
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ipath := strings.Trim(spec.Path.Value, `"`)
+			if l.isFixture(ipath) {
+				if _, err := l.load(ipath); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	info := dmcana.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if l.isFixture(ipath) {
+			p, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.imp.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %w", path, err)
+	}
+	p := &dmcana.Package{PkgPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	*l.ordered = append(*l.ordered, p)
+	return p, nil
+}
+
+// isFixture reports whether the import path exists in the fixture tree
+// (fixture stubs shadow real packages of the same path).
+func (l *loader) isFixture(path string) bool {
+	fi, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdExport resolves non-fixture imports (standard library) to compiled
+// export data via `go list -export`, memoized process-wide.
+var stdExport = func() func(path string) (io.ReadCloser, error) {
+	var mu sync.Mutex
+	cache := make(map[string]string)
+	return func(path string) (io.ReadCloser, error) {
+		mu.Lock()
+		f, ok := cache[path]
+		mu.Unlock()
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("anatest: go list -export %s: %v", path, err)
+			}
+			f = strings.TrimSpace(string(out))
+			if f == "" {
+				return nil, fmt.Errorf("anatest: no export data for %q", path)
+			}
+			mu.Lock()
+			cache[path] = f
+			mu.Unlock()
+		}
+		return os.Open(f)
+	}
+}()
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// match compares diagnostics against the fixture tree's want comments.
+func match(t *testing.T, l *loader, diags []dmcana.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, p := range *l.ordered {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := l.fset.Position(c.Pos())
+					ws, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					for _, re := range ws {
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWant extracts the regexes from a comment's `// want` clause, nil
+// when the comment has none.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[i+len("// want "):])
+	var res []*regexp.Regexp
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want clause: expected quoted regexp, got %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("want clause: unterminated %c-quote", quote)
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("want clause: %v", err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want clause with no regexps")
+	}
+	return res, nil
+}

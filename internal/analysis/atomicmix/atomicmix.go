@@ -1,0 +1,217 @@
+// Package atomicmix checks the memory-access invariant behind every
+// counter on the serving hot path: a struct field or package-level var
+// that is accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere.
+//
+// A single plain load of a field that other goroutines update with
+// atomic.AddUint64 is a data race the race detector only catches when a
+// test happens to interleave it; mixed access also licenses the
+// compiler to tear or cache the plain access. The analyzer records
+// every address that is passed into a sync/atomic function
+// (&x.field or &pkgVar) and flags every other read or write of the same
+// variable that is not itself part of an atomic call. Fields touched
+// atomically are exported as a fact, so a dependent package reading the
+// field plainly is caught too.
+//
+// Locals and parameters are exempt (a stack-local atomic that later
+// reverts to plain access after a WaitGroup join is a common, safe test
+// idiom), and composite-literal keys are exempt (zero-initialization
+// before the value is shared is not an access). Fields typed
+// atomic.Int64 & co. need no checking here: their plain value is
+// unreachable, and `go vet`'s copylocks already rejects copying them.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dmc/internal/analysis/dmcana"
+)
+
+// Fact lists a package's atomically-accessed variables, keyed by
+// qualified name ("Struct.field" or "pkgVar") with the position of one
+// atomic access as the value.
+type Fact map[string]string
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &dmcana.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "check that variables accessed via sync/atomic are never also accessed plainly",
+	Run:      run,
+	FactType: Fact{},
+}
+
+func run(pass *dmcana.Pass) error {
+	// Pass 1: every &target handed to a sync/atomic function. sanctioned
+	// marks the idents consumed by those calls so pass 2 can skip them.
+	atomicObjs := map[types.Object]ast.Expr{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, id := targetVar(pass.Info, un.X)
+				if obj == nil || !trackable(obj) {
+					continue
+				}
+				atomicObjs[obj] = un.X
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 && !hasImportedFacts(pass) {
+		return nil
+	}
+
+	// Merge this package's atomic set with every dependency's fact, so
+	// plain access to an upstream package's atomic field is caught here.
+	imported := map[string]string{}
+	for _, dep := range pass.Pkg.Imports() {
+		if v, ok := pass.ImportFact(dep.Path()); ok {
+			for k, pos := range v.(Fact) {
+				imported[dep.Path()+"."+k] = pos
+			}
+		}
+	}
+
+	fact := Fact{}
+	for obj := range atomicObjs {
+		fact[qualName(obj)] = pass.Fset.Position(atomicObjs[obj].Pos()).String()
+	}
+	if len(fact) > 0 {
+		pass.ExportFact(fact)
+	}
+
+	// Pass 2: any other use of those variables is a mixed access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				// Composite-literal initialization (S{hits: 0}) happens
+				// before the value can be shared.
+				if id, ok := n.Key.(*ast.Ident); ok {
+					sanctioned[id] = true
+				}
+			case *ast.Ident:
+				obj := pass.Info.Uses[n]
+				if obj == nil || sanctioned[n] {
+					return true
+				}
+				if at, ok := atomicObjs[obj]; ok {
+					pass.Reportf(n.Pos(), "plain access of %s, which is accessed atomically at %s: mixed atomic/plain access races",
+						qualName(obj), pass.Fset.Position(at.Pos()))
+					return true
+				}
+				if v, ok := obj.(*types.Var); ok && v.IsField() && v.Pkg() != nil && v.Pkg() != pass.Pkg {
+					if pos, ok := imported[v.Pkg().Path()+"."+qualName(obj)]; ok {
+						pass.Reportf(n.Pos(), "plain access of %s.%s, which %s accesses atomically at %s: mixed atomic/plain access races",
+							v.Pkg().Path(), qualName(obj), v.Pkg().Path(), pos)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call is a top-level sync/atomic
+// function (AddUint64, LoadInt32, CompareAndSwapPointer, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// targetVar resolves the expression under an & to the variable object
+// it addresses: `x.field` to the field, `pkgVar` to the var. The
+// returned ident is the one naming the variable, for sanctioning.
+func targetVar(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v, e.Sel
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v, e
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics (latency buckets) — track the
+		// backing field/var, all elements treated as one.
+		return targetVar(info, e.X)
+	}
+	return nil, nil
+}
+
+// trackable limits checking to struct fields and package-level vars;
+// locals and parameters stay exempt.
+func trackable(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// qualName names a variable for facts and messages: "Struct.field" for
+// fields (via the field's declaring struct when named), bare name for
+// package vars.
+func qualName(obj types.Object) string {
+	v := obj.(*types.Var)
+	if !v.IsField() {
+		return v.Name()
+	}
+	// Find the named struct declaring the field, for a stable key.
+	if v.Pkg() != nil {
+		scope := v.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return fmt.Sprintf("%s.%s", name, v.Name())
+				}
+			}
+		}
+	}
+	return v.Name()
+}
+
+// hasImportedFacts reports whether any dependency exported an atomicmix
+// fact (pass 2 must still run to catch cross-package plain access even
+// when this package has no atomic calls of its own).
+func hasImportedFacts(pass *dmcana.Pass) bool {
+	for _, dep := range pass.Pkg.Imports() {
+		if _, ok := pass.ImportFact(dep.Path()); ok {
+			return true
+		}
+	}
+	return false
+}

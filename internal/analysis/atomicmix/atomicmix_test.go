@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"dmc/internal/analysis/anatest"
+	"dmc/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	anatest.Run(t, "testdata", atomicmix.Analyzer, "a", "b")
+}

@@ -1,0 +1,73 @@
+package a
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	name string
+}
+
+// Stats is exported so package b exercises the cross-package fact.
+type Stats struct {
+	Total uint64
+}
+
+var global uint64
+
+func (c *Counter) Incr() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) Read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *Counter) Bad() uint64 {
+	return c.hits // want `plain access of Counter.hits`
+}
+
+func (c *Counter) BadWrite() {
+	c.hits = 0 // want `plain access of Counter.hits`
+}
+
+// GoodName: untouched-by-atomics fields stay unrestricted.
+func (c *Counter) GoodName() string {
+	return c.name
+}
+
+// GoodLiteral: composite-literal zeroing happens before sharing.
+func GoodLiteral() *Counter {
+	return &Counter{hits: 0, name: "fresh"}
+}
+
+func (s *Stats) Add() {
+	atomic.AddUint64(&s.Total, 1)
+}
+
+func BumpGlobal() {
+	atomic.AddUint64(&global, 1)
+}
+
+func BadGlobal() uint64 {
+	return global // want `plain access of global`
+}
+
+// GoodLocal: stack-locals are exempt; reading after the concurrent
+// phase ends is a common, safe test idiom.
+func GoodLocal() uint64 {
+	var local uint64
+	atomic.AddUint64(&local, 1)
+	return local
+}
+
+type buckets struct {
+	counts [8]uint64
+}
+
+func (b *buckets) Observe(i int) {
+	atomic.AddUint64(&b.counts[i], 1)
+}
+
+func (b *buckets) Bad(i int) uint64 {
+	return b.counts[i] // want `plain access of buckets.counts`
+}

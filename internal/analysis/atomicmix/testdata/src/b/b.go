@@ -1,0 +1,13 @@
+// Package b reads package a's fields; a's atomic accesses arrive only
+// through the exported fact.
+package b
+
+import "a"
+
+func Bad(s *a.Stats) uint64 {
+	return s.Total // want `plain access of a.Stats.Total`
+}
+
+func Good(s *a.Stats) {
+	s.Add()
+}

@@ -1,0 +1,139 @@
+// Package dmcana is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass, reports Diagnostics, and may
+// export a per-package Fact that analyses of dependent packages import.
+//
+// The repo's invariant checkers (internal/analysis/...) are ordinary
+// go/ast + go/types walkers; this package gives them the harness x/tools
+// would — package loading (load.go), dependency-ordered execution with
+// fact propagation (run.go), and golden-fixture testing
+// (internal/analysis/anatest) — without adding a module dependency. The
+// build stays hermetic: everything here is standard library plus the go
+// command already required by the toolchain.
+//
+// Deliberate differences from x/tools kept the surface small:
+//
+//   - Facts are package-level only (no object facts) and are plain
+//     gob-encodable values declared via Analyzer.FactType.
+//   - Analyzers see only compiled (non-test) files when driven by
+//     cmd/dmclint's standalone mode; `go vet -vettool` additionally
+//     covers test compilations.
+//   - An Analyzer may declare a Finish hook that runs after every
+//     package, for module-global checks (e.g. cross-package fault-point
+//     name uniqueness) that do not follow import edges.
+package dmcana
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files; it must
+	// be a valid identifier and unique within a suite.
+	Name string
+	// Doc is the one-paragraph description `dmclint -help` style output
+	// shows: the invariant the analyzer encodes and why it holds.
+	Doc string
+	// Run inspects one package. Diagnostics go through Pass.Reportf; a
+	// non-nil error aborts the whole run (reserved for internal failures,
+	// not findings).
+	Run func(*Pass) error
+	// FactType, when non-nil, declares the concrete type of the fact this
+	// analyzer exports per package (e.g. map[string]string{}). It is used
+	// as the gob prototype when facts cross process boundaries under
+	// `go vet -vettool`.
+	FactType any
+	// Finish, when non-nil, runs once after every package was analyzed,
+	// with the full fact set. It serves module-global invariants that do
+	// not follow import edges; only the standalone driver calls it
+	// (per-package vet units cannot).
+	Finish func(facts *FactSet) []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violated invariant at this site.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	facts *FactSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes this package's fact, replacing any previous one.
+// The value should be of the analyzer's FactType.
+func (p *Pass) ExportFact(v any) {
+	p.facts.put(p.Analyzer.Name, p.Pkg.Path(), v)
+}
+
+// ImportFact returns the fact the analyzer exported for the package with
+// the given path, if any. Facts are only guaranteed present for
+// (transitive) dependencies of the package under analysis.
+func (p *Pass) ImportFact(pkgPath string) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, pkgPath)
+}
+
+// FactSet holds every (analyzer, package) fact of a run.
+type FactSet struct {
+	m map[string]map[string]any // analyzer -> package path -> fact
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{m: make(map[string]map[string]any)} }
+
+func (fs *FactSet) put(analyzer, pkgPath string, v any) {
+	byPkg := fs.m[analyzer]
+	if byPkg == nil {
+		byPkg = make(map[string]any)
+		fs.m[analyzer] = byPkg
+	}
+	byPkg[pkgPath] = v
+}
+
+func (fs *FactSet) get(analyzer, pkgPath string) (any, bool) {
+	v, ok := fs.m[analyzer][pkgPath]
+	return v, ok
+}
+
+// Put records a fact from outside a Pass — the vet-mode driver seeding
+// dependency facts it decoded from .vetx files.
+func (fs *FactSet) Put(analyzer, pkgPath string, v any) { fs.put(analyzer, pkgPath, v) }
+
+// Get returns one (analyzer, package) fact; the vet-mode driver uses it
+// to serialize the analyzed package's facts into its .vetx output.
+func (fs *FactSet) Get(analyzer, pkgPath string) (any, bool) { return fs.get(analyzer, pkgPath) }
+
+// All returns the analyzer's facts keyed by package path (nil when it
+// exported none anywhere). Finish hooks use this for module-global
+// checks.
+func (fs *FactSet) All(analyzer string) map[string]any { return fs.m[analyzer] }

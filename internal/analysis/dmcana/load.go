@@ -1,0 +1,172 @@
+package dmcana
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the canonical import path.
+	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Files is the parsed syntax (comments retained), one entry per
+	// compiled Go file.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded set of main-module packages sharing one FileSet,
+// in dependency order (every package appears after its in-set
+// dependencies), the order Run analyzes them in so facts flow forward.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// LoadModule loads the main-module packages matched by patterns
+// (typically "./...") rooted at dir, together with export data for their
+// whole dependency graph, and type-checks the module packages from
+// source. It shells out to `go list -deps -export -json`, so it needs no
+// network and no dependencies beyond the toolchain: dependency packages
+// (standard library included) are imported from the build cache's export
+// data, exactly as the compiler would.
+//
+// Test files are not loaded: the analyzers see the same compilations
+// `go build` does. Run the suite under `go vet -vettool` to additionally
+// cover test compilations.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Imports,Export,Standard,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("dmcana: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var mod []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dmcana: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("dmcana: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main && !p.Standard {
+			mod = append(mod, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// Dependencies resolve through compiled export data; the importer
+	// caches, so shared dependencies load once.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("dmcana: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	m := &Module{Fset: fset}
+	for _, p := range mod {
+		// -deps emits dependencies before dependents, giving the fact
+		// propagation order for free.
+		pkg, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// checkPackage parses and type-checks one module package against the
+// export-data importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, p *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("dmcana: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("dmcana: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: p.ImportPath,
+		Dir:     p.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume
+// populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,65 @@
+package dmcana
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package of the module, in the
+// module's dependency order so that facts a package exports are visible
+// to its dependents, then runs the analyzers' Finish hooks over the
+// complete fact set. Diagnostics come back sorted by position.
+func Run(m *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunPackages(m, analyzers, NewFactSet(), true)
+}
+
+// RunPackages is Run with a caller-provided fact set — pre-seeded with
+// dependency facts by cmd/dmclint's `go vet -vettool` mode, where each
+// process sees one package and facts arrive from files — and optional
+// Finish hooks (per-package vet units cannot run module-global checks).
+func RunPackages(m *Module, analyzers []*Analyzer, facts *FactSet, finish bool) ([]Diagnostic, error) {
+	diags := []Diagnostic{}
+	for _, pkg := range m.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     m.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				facts:    facts,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("dmcana: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if finish {
+		for _, a := range analyzers {
+			if a.Finish != nil {
+				diags = append(diags, a.Finish(facts)...)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, and
+// analyzer, for stable output and golden comparison.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,34 @@
+// Package dmclint assembles the project's analyzer suite. The four
+// passes machine-check invariants that the rest of the repo otherwise
+// states only in comments:
+//
+//   - faultpoint: fault.Register sites are package-level vars with
+//     constant, module-unique point names (storm replay addressing);
+//   - lockheld: no blocking operation — and at the registry tier, no
+//     solve — runs while a pooling/serving mutex is held;
+//   - poolescape: warm-pool Solutions never outlive their call frame in
+//     consumer packages (solver storage is rebuilt in place);
+//   - atomicmix: a variable accessed through sync/atomic anywhere is
+//     accessed through sync/atomic everywhere.
+//
+// cmd/dmclint runs the suite standalone (`make lint`) or as a
+// `go vet -vettool`; TestModule in this package runs it over ./... so
+// the invariants gate `go test ./...` too.
+package dmclint
+
+import (
+	"dmc/internal/analysis/atomicmix"
+	"dmc/internal/analysis/dmcana"
+	"dmc/internal/analysis/faultpoint"
+	"dmc/internal/analysis/lockheld"
+	"dmc/internal/analysis/poolescape"
+)
+
+// All is the suite, in the order diagnostics are grouped when several
+// passes flag the same position.
+var All = []*dmcana.Analyzer{
+	faultpoint.Analyzer,
+	lockheld.Analyzer,
+	poolescape.Analyzer,
+	atomicmix.Analyzer,
+}

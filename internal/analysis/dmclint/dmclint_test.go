@@ -1,0 +1,42 @@
+package dmclint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmc/internal/analysis/dmcana"
+)
+
+// TestModule runs the whole suite over every package in the module and
+// requires a clean report. This is the tier-1 gate: a change that
+// breaks a pooling, locking, fault-registration, or atomic-access
+// invariant fails `go test ./...` even if no behavioral test notices.
+func TestModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+
+	m, err := dmcana.LoadModule(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := dmcana.Run(m, All)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	dmcana.SortDiagnostics(diags)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

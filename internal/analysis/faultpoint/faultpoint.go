@@ -1,0 +1,166 @@
+// Package faultpoint checks the fault-injection registration invariant:
+// every fault.Register call sites a package-level var with a constant,
+// module-unique point name.
+//
+// The chaos harness replays seeded fault storms by deriving each
+// point's decision stream from (plan seed, point name, hit counter), so
+// DMC_FAULT_POINTS entries address points by name. A name computed at
+// runtime cannot be targeted from a plan; a point registered inside a
+// function may not exist yet when Activate runs (registration order
+// becomes timing-dependent); and two points sharing one name silently
+// share one Point and one decision stream, so a storm aimed at one seam
+// fires at both and replay logs stop identifying the seam. Each
+// package's registered names are exported as a fact; the suite's Finish
+// pass joins them module-wide, catching collisions between packages
+// that never import each other.
+package faultpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dmc/internal/analysis/dmcana"
+)
+
+// faultPkg is the import path of the injection framework (fixture stubs
+// use the same path).
+const faultPkg = "dmc/internal/fault"
+
+// Fact maps each point name registered by a package to the position of
+// its Register call, formatted "file:line:col".
+type Fact map[string]string
+
+// Analyzer is the faultpoint pass.
+var Analyzer = &dmcana.Analyzer{
+	Name:     "faultpoint",
+	Doc:      "check that fault.Register calls site package-level vars with constant, module-unique point names",
+	Run:      run,
+	FactType: Fact{},
+	Finish:   finish,
+}
+
+func run(pass *dmcana.Pass) error {
+	fact := Fact{}
+	names := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		// The invariant binds production registration: tests construct
+		// ephemeral points inside functions deliberately (vet-driven runs
+		// include test compilations).
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// The package-level var initializers, where every Register call
+		// must live.
+		topLevel := map[ast.Expr]bool{}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				for _, v := range spec.(*ast.ValueSpec).Values {
+					topLevel[v] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegister(pass.Info, call) {
+				return true
+			}
+			if !topLevel[call] {
+				pass.Reportf(call.Pos(), "fault.Register must directly initialize a package-level var, so the point exists before any plan activates")
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			tv := pass.Info.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "fault point name must be a compile-time string constant, or DMC_FAULT_POINTS plans cannot target it")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if name == "" {
+				pass.Reportf(call.Args[0].Pos(), "fault point name must not be empty")
+				return true
+			}
+			if prev, ok := names[name]; ok {
+				pass.Reportf(call.Pos(), "fault point %q already registered at %s; duplicate names share one decision stream and break storm replay", name, pass.Fset.Position(prev))
+				return true
+			}
+			names[name] = call.Pos()
+			fact[name] = pass.Fset.Position(call.Pos()).String()
+			return true
+		})
+	}
+	if len(fact) > 0 {
+		pass.ExportFact(fact)
+	}
+	return nil
+}
+
+// isRegister reports whether the call resolves to fault.Register.
+func isRegister(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == "Register" && fn.Pkg() != nil && fn.Pkg().Path() == faultPkg
+}
+
+// finish joins every package's registered names and reports
+// module-level collisions — including between packages with no import
+// relation, which per-package fact flow alone could never see.
+func finish(facts *dmcana.FactSet) []dmcana.Diagnostic {
+	type site struct{ pkg, pos string }
+	byName := map[string][]site{}
+	for pkgPath, v := range facts.All("faultpoint") {
+		for name, pos := range v.(Fact) {
+			byName[name] = append(byName[name], site{pkg: pkgPath, pos: pos})
+		}
+	}
+	var diags []dmcana.Diagnostic
+	for name, sites := range byName {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		var where []string
+		for _, s := range sites {
+			where = append(where, fmt.Sprintf("%s (%s)", s.pos, s.pkg))
+		}
+		diags = append(diags, dmcana.Diagnostic{
+			Analyzer: "faultpoint",
+			Pos:      parsePosition(sites[0].pos),
+			Message:  fmt.Sprintf("fault point %q registered in multiple packages: %s", name, strings.Join(where, ", ")),
+		})
+	}
+	return diags
+}
+
+// parsePosition reconstructs a token.Position from its "file:line:col"
+// string form (fact positions cross the package boundary as strings).
+func parsePosition(s string) token.Position {
+	var pos token.Position
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		fmt.Sscanf(s[i+1:], "%d", &pos.Column)
+		s = s[:i]
+	}
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		fmt.Sscanf(s[i+1:], "%d", &pos.Line)
+		s = s[:i]
+	}
+	pos.Filename = s
+	return pos
+}

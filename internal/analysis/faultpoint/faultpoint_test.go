@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"dmc/internal/analysis/anatest"
+	"dmc/internal/analysis/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	anatest.Run(t, "testdata", faultpoint.Analyzer, "a", "b", "c")
+}

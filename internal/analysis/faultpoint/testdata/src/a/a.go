@@ -1,0 +1,23 @@
+package a
+
+import "dmc/internal/fault"
+
+// The sanctioned shape: package-level var, constant unique name.
+var good = fault.Register("a.good")
+
+// Grouped declarations are package-level too.
+var (
+	alsoGood = fault.Register("a.also-good")
+)
+
+var dup = fault.Register("a.good") // want `already registered`
+
+var empty = fault.Register("") // want `must not be empty`
+
+func pointName() string { return "a.computed" }
+
+var computed = fault.Register(pointName()) // want `compile-time string constant`
+
+func install() *fault.Point {
+	return fault.Register("a.local") // want `package-level var`
+}

@@ -1,0 +1,5 @@
+package b
+
+import "dmc/internal/fault"
+
+var collide = fault.Register("shared.point") // want `registered in multiple packages`

@@ -1,0 +1,10 @@
+package c
+
+import "dmc/internal/fault"
+
+// Same name as package b's point; packages a–c share no import edge, so
+// only the module-global Finish join can see the collision (reported at
+// the first site, in b).
+var collide = fault.Register("shared.point")
+
+var fine = fault.Register("c.fine")

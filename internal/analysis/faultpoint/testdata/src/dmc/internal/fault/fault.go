@@ -1,0 +1,9 @@
+// Package fault is a fixture stub shadowing dmc/internal/fault: just
+// enough surface for faultpoint's Register-site checks.
+package fault
+
+// Point is one injection point.
+type Point struct{ name string }
+
+// Register declares a point.
+func Register(name string) *Point { return &Point{name: name} }

@@ -1,0 +1,13 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"dmc/internal/analysis/anatest"
+	"dmc/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	anatest.Run(t, "testdata", lockheld.Analyzer,
+		"dmc/internal/core", "dmc/internal/serve", "dmc/internal/fault")
+}

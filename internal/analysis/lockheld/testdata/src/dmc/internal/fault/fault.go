@@ -1,0 +1,23 @@
+// Package fault is a fixture stub shadowing dmc/internal/fault's
+// registry idiom: the guarded mutex lives in an anonymous-struct
+// package-level var, matched by var name rather than type name.
+package fault
+
+import "sync"
+
+var registry = struct {
+	mu     sync.Mutex
+	points map[string]int
+}{points: map[string]int{}}
+
+func bad(c chan int) int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return <-c // want `channel receive while registry mutex fault.registry.mu is held`
+}
+
+func good(name string) int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.points[name]
+}

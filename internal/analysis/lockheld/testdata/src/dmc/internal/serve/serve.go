@@ -1,0 +1,46 @@
+// Package serve is a fixture stub shadowing dmc/internal/serve,
+// exercising the cross-package may-block fact: core's WaitOn blocks,
+// and serve only learns that from the fact core exported.
+package serve
+
+import (
+	"sync"
+
+	"dmc/internal/core"
+)
+
+type session struct {
+	mu sync.Mutex
+}
+
+type Server struct {
+	smu     sync.RWMutex
+	admitMu sync.RWMutex
+	queue   chan int
+}
+
+func (s *Server) badCrossPackage(c chan int) {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	_ = core.WaitOn(c) // want `call to dmc/internal/core.WaitOn, which may block while registry mutex serve.Server.smu is held`
+}
+
+func (s *Server) badAdmit() {
+	s.admitMu.Lock()
+	s.queue <- 1 // want `channel send while registry mutex serve.Server.admitMu is held`
+	s.admitMu.Unlock()
+}
+
+// goodRead: plain map/field work under the registry lock is fine.
+func (s *Server) goodRead() int {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return cap(s.queue)
+}
+
+// goodSessionSolve: the slot tier spans solver calls by design.
+func (se *session) goodSessionSolve(p *core.WarmPool) int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return p.Solve()
+}

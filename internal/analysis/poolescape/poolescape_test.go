@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"dmc/internal/analysis/anatest"
+	"dmc/internal/analysis/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	anatest.Run(t, "testdata", poolescape.Analyzer, "consumer")
+}

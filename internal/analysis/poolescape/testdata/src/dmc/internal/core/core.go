@@ -1,0 +1,28 @@
+// Package core is a fixture stub shadowing dmc/internal/core: the warm
+// sources (Solver.Resolve*, WarmPool.Solve*) and a one-shot entry point
+// whose results are free to retain.
+package core
+
+type Solution struct {
+	X       []float64
+	Quality float64
+}
+
+type Network struct{}
+
+type Solver struct{ sol Solution }
+
+// Resolve returns solver-owned storage, rebuilt by the next call.
+func (s *Solver) Resolve(n *Network) (*Solution, error) { return &s.sol, nil }
+
+type WarmPool struct{ s Solver }
+
+// SolveSession returns the session slot's solver-owned storage.
+func (p *WarmPool) SolveSession(id string, n *Network) (*Solution, error) {
+	return p.s.Resolve(n)
+}
+
+// SolveQuality is a one-shot solve: fresh storage every call.
+func SolveQuality(n *Network) (*Solution, error) {
+	return &Solution{X: []float64{1}}, nil
+}

@@ -1,0 +1,22 @@
+// Package estimate is a fixture stub shadowing dmc/internal/estimate.
+// It is a storage owner: retaining the warm Solution in the Adaptor is
+// the cache design, so the analyzer must stay silent here.
+package estimate
+
+import "dmc/internal/core"
+
+type Adaptor struct {
+	solver   *core.Solver
+	solution *core.Solution
+}
+
+// Solution re-solves on drift and caches the result — owner-package
+// retention the analyzer exempts.
+func (a *Adaptor) Solution(n *core.Network) (*core.Solution, error) {
+	sol, err := a.solver.Resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	a.solution = sol
+	return sol, nil
+}

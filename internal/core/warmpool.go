@@ -92,7 +92,9 @@ type sessionSlot struct {
 // SolveSession on the same key — rebuilds that storage in place,
 // invalidating them. Extract what you need from a Solution before
 // issuing the next solve that could reuse its solver, or use the
-// package-level SolveMany, which never reuses result storage.
+// package-level SolveMany, which never reuses result storage. This
+// contract is machine-checked in consumer packages by the poolescape
+// analyzer (internal/analysis/poolescape, run via `make lint`).
 //
 // A WarmPool is safe for concurrent use; concurrent batches simply
 // check out disjoint solvers.
