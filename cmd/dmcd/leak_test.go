@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"dmc/internal/leak"
+)
+
+// TestMain fails the package when a test leaks daemon goroutines — a
+// run() that ignores context cancellation, or an HTTP server whose
+// shutdown path stalls, shows up here as a named stack.
+func TestMain(m *testing.M) {
+	leak.VerifyTestMain(m)
+}

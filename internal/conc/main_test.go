@@ -1,0 +1,13 @@
+package conc
+
+import (
+	"testing"
+
+	"dmc/internal/leak"
+)
+
+// TestMain fails the package when a test leaks pool workers — the
+// ForEach contract is that every worker has exited by return.
+func TestMain(m *testing.M) {
+	leak.VerifyTestMain(m)
+}

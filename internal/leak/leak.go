@@ -1,0 +1,124 @@
+// Package leak verifies at the end of a test binary that no goroutines
+// outlived the tests — the stdlib-only equivalent of go.uber.org/goleak.
+//
+// The serving stack spawns goroutines aggressively (wave workers,
+// session queues, HTTP handlers, chaos storms); a test that forgets to
+// Close a server or drain a session leaks workers that the next test's
+// timing then depends on. Wiring VerifyTestMain into a package's
+// TestMain turns that silent cross-test contamination into a hard
+// failure naming the leaked stacks.
+//
+// Goroutines are snapshotted via runtime.Stack after the tests finish.
+// Benign stacks are filtered: the test framework's own goroutines,
+// signal handling, and net/http's keepalive connection loops, which
+// park briefly on idle connections after a client round-trip and drain
+// on their own. Because legitimate shutdown is asynchronous (Close
+// returns before workers observe it), the check retries with backoff
+// for a grace period before declaring a leak.
+package leak
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// maxWait is the grace period for goroutines that are already shutting
+// down when the check starts.
+const maxWait = 5 * time.Second
+
+// testMain is the subset of *testing.M the verifier needs (an interface
+// so the package itself stays testable without a nested test binary).
+type testMain interface{ Run() int }
+
+// VerifyTestMain runs the package's tests and exits nonzero when
+// goroutines leak:
+//
+//	func TestMain(m *testing.M) { leak.VerifyTestMain(m) }
+func VerifyTestMain(m testMain) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "leak: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check waits out the grace period and returns an error describing any
+// goroutines that remain beyond the benign set.
+func Check() error {
+	var leaked []string
+	delay := 1 * time.Millisecond
+	for deadline := time.Now().Add(maxWait); ; {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+	return fmt.Errorf("%d goroutine(s) outlived the tests:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// leakedGoroutines snapshots all goroutine stacks and drops the benign
+// ones.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g = strings.TrimSpace(g); g != "" && !benign(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// benignMarkers appear in stacks that are expected to exist after a
+// test binary's tests complete. runtime.Stack already excludes system
+// goroutines (GC workers, the scavenger), so only user-visible
+// infrastructure needs listing.
+var benignMarkers = []string{
+	// The goroutine running this check, and the testing framework's own
+	// machinery (parked parent tests, the main test goroutine).
+	"dmc/internal/leak.Check",
+	"testing.(*T).Run",
+	"testing.(*M).Run",
+	"testing.runTests",
+	"testing.(*F).Fuzz",
+	// os/signal installs a watcher on first use (httptest does).
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	// net/http keepalive loops: after a client round-trip the pooled
+	// connection's reader/writer park until the idle timeout; they drain
+	// on their own and hold no test state.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.setRequestCancel",
+}
+
+func benign(stack string) bool {
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanAfterTransientGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is alive when Check starts; the grace period must
+	// absorb it.
+	if err := Check(); err != nil {
+		t.Fatalf("transient goroutine reported as leak: %v", err)
+	}
+	<-done
+}
+
+func TestLeakedGoroutinesFindsBlockedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	go leakyWait(block)
+	defer close(block)
+
+	// Wait for the goroutine to park so the stack dump names it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		leaked := leakedGoroutines()
+		if containsStack(leaked, "leakyWait") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocked goroutine not reported; got %d stacks", len(leaked))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+//go:noinline
+func leakyWait(c chan struct{}) { <-c }
+
+func containsStack(stacks []string, marker string) bool {
+	for _, s := range stacks {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBenignFiltersFramework(t *testing.T) {
+	if !benign("goroutine 7 [chan receive]:\ntesting.(*T).Run(...)") {
+		t.Error("testing.(*T).Run stack not filtered")
+	}
+	if !benign("goroutine 9 [IO wait]:\nnet/http.(*persistConn).readLoop(...)") {
+		t.Error("persistConn keepalive stack not filtered")
+	}
+	if benign("goroutine 11 [chan receive]:\ndmc/internal/serve.(*Server).wave(...)") {
+		t.Error("server worker stack wrongly filtered")
+	}
+}

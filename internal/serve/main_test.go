@@ -1,0 +1,14 @@
+package serve
+
+import (
+	"testing"
+
+	"dmc/internal/leak"
+)
+
+// TestMain fails the package when a test leaks server goroutines (wave
+// workers, session queues, handler connections): forgetting Close here
+// contaminates every later test's timing.
+func TestMain(m *testing.M) {
+	leak.VerifyTestMain(m)
+}
