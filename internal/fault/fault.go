@@ -176,6 +176,10 @@ var registry struct {
 // any plan activates:
 //
 //	var fpInstall = fault.Register("lp.warm.install")
+//
+// The siting rules — package-level var, constant name, module-unique —
+// are machine-checked by the faultpoint analyzer
+// (internal/analysis/faultpoint, run via `make lint`).
 func Register(name string) *Point {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
@@ -294,6 +298,20 @@ func FromEnv() (*Plan, error) {
 		parts := strings.Split(entry, ":")
 		if len(parts) < 3 {
 			return nil, fmt.Errorf("fault: %s entry %q is not point:kind:prob[:latency]", EnvPoints, entry)
+		}
+		if parts[0] == "" {
+			return nil, fmt.Errorf("fault: %s entry %q has an empty point name", EnvPoints, entry)
+		}
+		// One entry per point: a repeated name is almost always a typo'd
+		// storm (the second entry silently stacking onto the first would
+		// double the injection rate). Multi-spec points remain available
+		// through the Plan API.
+		if parts[0] == "*" {
+			if len(p.Default) > 0 {
+				return nil, fmt.Errorf("fault: %s names point %q twice", EnvPoints, parts[0])
+			}
+		} else if _, dup := p.Points[parts[0]]; dup {
+			return nil, fmt.Errorf("fault: %s names point %q twice", EnvPoints, parts[0])
 		}
 		var sp Spec
 		switch parts[1] {

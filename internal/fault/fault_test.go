@@ -176,10 +176,22 @@ func TestFromEnv(t *testing.T) {
 		"x:error:nan",
 		"x:error:0.5:10ms",
 		"x:latency:0.5:-3ms",
+		":error:0.5",
+		"x:error:0.5,x:panic:0.1",
+		"*:error:0.5,*:latency:0.1",
 	} {
 		t.Setenv(EnvPoints, bad)
 		if _, err := FromEnv(); err == nil {
 			t.Errorf("FromEnv(%q) accepted a malformed spec", bad)
+		}
+	}
+
+	// A malformed seed must fail even when the point list is valid.
+	t.Setenv(EnvPoints, "x:error:0.5")
+	for _, badSeed := range []string{"forty-two", "-1", "1.5"} {
+		t.Setenv(EnvSeed, badSeed)
+		if _, err := FromEnv(); err == nil {
+			t.Errorf("FromEnv with %s=%q accepted a malformed seed", EnvSeed, badSeed)
 		}
 	}
 }
