@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test chaos-smoke fuzz-smoke bench-smoke bench run-dmcd ci
+.PHONY: all build vet lint fmt-check test chaos-smoke chaos-restart fuzz-smoke bench-smoke bench run-dmcd ci
 
 all: build vet lint fmt-check test
 
@@ -44,6 +44,15 @@ CHAOS_ITERS ?= 100
 chaos-smoke:
 	DMC_CHAOS_ITERS=$(CHAOS_ITERS) $(GO) test -race -count=1 -run '^TestChaosFleetSurvivesFaultStorms$$' -v ./internal/serve
 
+# The durability chaos drill: RESTART_ITERS kill-9/restart cycles of a
+# loaded fleet under seeded fault storms (internal/serve
+# TestCrashRestartFleet), each cycle tearing the journal and asserting
+# restored estimator state matches an uninterrupted reference exactly.
+# `make test` runs the same test at 2 cycles; this is the long soak.
+RESTART_ITERS ?= 10
+chaos-restart:
+	DMC_RESTART_ITERS=$(RESTART_ITERS) $(GO) test -race -count=1 -run '^TestCrashRestartFleet$$' -v ./internal/serve
+
 # Ten seconds per seed fuzz target. `go test -fuzz` accepts exactly one
 # target per invocation, so each runs separately.
 FUZZTIME ?= 10s
@@ -53,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadNetwork$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz='^FuzzSolveRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadSimulation$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # One iteration of every benchmark: proves they run, not how fast.
 bench-smoke:
@@ -82,4 +92,4 @@ DMCD_FLAGS ?= -addr :7117
 run-dmcd:
 	$(GO) run ./cmd/dmcd $(DMCD_FLAGS)
 
-ci: all chaos-smoke fuzz-smoke bench-smoke
+ci: all chaos-smoke chaos-restart fuzz-smoke bench-smoke

@@ -696,7 +696,10 @@ func BenchmarkServeSaturation(b *testing.B) {
 
 		b.Run(fmt.Sprintf("sessions=%d/daemon", size.sessions), func(b *testing.B) {
 			bodies := serveFleetBodies(fleets)
-			srv := dmc.NewServer(dmc.ServeConfig{})
+			srv, err := dmc.NewServer(dmc.ServeConfig{})
+			if err != nil {
+				b.Fatalf("NewServer: %v", err)
+			}
 			defer srv.Close()
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()

@@ -26,6 +26,13 @@
 // 429 with a Retry-After hint. SIGINT/SIGTERM shut down gracefully:
 // admitted solves drain before the process exits.
 //
+// -state-dir makes sessions durable: acknowledged session state (the
+// scenario/objective binding, estimator counters, last good strategy)
+// is journaled with fsync before the response, compacted into periodic
+// snapshots, and restored at the next boot — even after kill -9, which
+// at worst leaves a torn journal suffix that boot truncates. See the
+// README's "Durability & restart".
+//
 // Failure containment (see the README's "Failure modes & degradation"):
 // "budget_ms" per request bounds queue wait (504 when it expires,
 // capped by -max-budget), per-shard circuit breakers fail fast with 503
@@ -75,6 +82,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive solver faults tripping a shard breaker (0 = 8, negative = off)")
 		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 2s)")
 		degraded    = fs.Bool("serve-degraded", false, "serve a session's last good strategy while its breaker is open")
+		stateDir    = fs.String("state-dir", "", "session durability dir: snapshot+journal written here, sessions restored at boot (empty = no persistence)")
+		snapBytes   = fs.Int64("snapshot-bytes", 0, "journal size triggering a compacting snapshot (0 = 4MB, negative = only final snapshot)")
+		noSync      = fs.Bool("journal-nosync", false, "skip per-record journal fsync (faster appends, crash may lose the tail)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +99,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "dmcd: fault injection ARMED (seed %d) at points %v\n", plan.Seed, fault.Points())
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Shards:           *shards,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
@@ -99,8 +109,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCooldown,
 		ServeDegraded:    *degraded,
+		StateDir:         *stateDir,
+		SnapshotBytes:    *snapBytes,
+		JournalNoSync:    *noSync,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
+	if *stateDir != "" {
+		fmt.Fprintf(stdout, "dmcd: durability on (%s): restored %d sessions\n", *stateDir, srv.Metrics().Durability.RestoredSessions)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

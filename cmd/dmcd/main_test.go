@@ -36,6 +36,28 @@ const tableIIISolve = `{"network": {
 	]
 }, "session_id": "boot"}`
 
+// bootDaemon starts run in the background and waits for the listen
+// line, returning the daemon's base URL and its completion channel.
+func bootDaemon(t *testing.T, ctx context.Context, out *syncBuffer, args ...string) (string, chan error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-shards", "1"}, args...), out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "dmcd: listening on "); ok {
+				return "http://" + strings.TrimSpace(rest), done
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestRunServesAndShutsDown boots the daemon on an ephemeral port,
 // solves the paper's Table III scenario over HTTP, and checks a context
 // cancellation shuts it down cleanly.
@@ -43,26 +65,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var out syncBuffer
-	done := make(chan error, 1)
-	go func() {
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "1"}, &out)
-	}()
-
-	// Wait for the listen line to learn the port.
-	var addr string
-	deadline := time.Now().Add(5 * time.Second)
-	for addr == "" {
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never announced its address; output: %q", out.String())
-		}
-		for _, line := range strings.Split(out.String(), "\n") {
-			if rest, ok := strings.CutPrefix(line, "dmcd: listening on "); ok {
-				addr = strings.TrimSpace(rest)
-			}
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	base := "http://" + addr
+	base, done := bootDaemon(t, ctx, &out)
 
 	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(tableIIISolve))
 	if err != nil {
@@ -99,6 +102,76 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shutting down") {
 		t.Errorf("missing shutdown log line; output: %q", out.String())
+	}
+}
+
+// TestRunRestoresState is the operator-facing durability contract: a
+// daemon run with -state-dir, shut down gracefully, and restarted over
+// the same dir picks its sessions back up — an estimator session
+// created before the restart answers /v1/observe with 200 afterwards,
+// not 409 unknown-session.
+func TestRunRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	const estSolve = `{"network": {
+		"rate_mbps": 90, "lifetime_ms": 800,
+		"paths": [
+			{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+			{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+		]
+	}, "session_id": "durable", "estimator": true}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	base, done := bootDaemon(t, ctx, &out, "-state-dir", dir)
+	if !strings.Contains(out.String(), "dmcd: durability on ("+dir+"): restored 0 sessions") {
+		t.Errorf("missing durability boot line; output: %q", out.String())
+	}
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(estSolve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/solve status %d", resp.StatusCode)
+	}
+	obs := `{"session_id": "durable", "paths": [
+		{"path": 0, "sent": 100, "lost": 4, "rtt_ms": [450.5]},
+		{"path": 1, "sent": 100, "lost": 0, "rtt_ms": [150.2]}
+	]}`
+	resp, err = http.Post(base+"/v1/observe", "application/json", strings.NewReader(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/observe status %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run failed on shutdown: %v", err)
+	}
+
+	// Second life: same state dir, fresh process.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var out2 syncBuffer
+	base2, done2 := bootDaemon(t, ctx2, &out2, "-state-dir", dir)
+	if !strings.Contains(out2.String(), "restored 1 sessions") {
+		t.Errorf("restart did not report the restored session; output: %q", out2.String())
+	}
+	resp, err = http.Post(base2+"/v1/observe", "application/json", strings.NewReader(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe after restart: status %d (session not restored?): %s", resp.StatusCode, body)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second run failed on shutdown: %v", err)
 	}
 }
 

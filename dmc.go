@@ -390,10 +390,12 @@ func LinksFromNetwork(n *Network, queueLimit int) []LinkConfig {
 func NewAdaptor(base *Network) (*Adaptor, error) { return estimate.NewAdaptor(base) }
 
 // NewServer starts the online solver service (sharded WarmPools, wave
-// coalescing, estimator feeds, admission control). Serve its Handler
-// over HTTP — cmd/dmcd is the ready-made binary — and Close it to drain
-// gracefully.
-func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+// coalescing, estimator feeds, admission control, and — with
+// ServeConfig.StateDir set — crash-safe session durability). Serve its
+// Handler over HTTP — cmd/dmcd is the ready-made binary — and Close it
+// to drain gracefully. The error is non-nil only when a configured
+// state dir is unusable or holds records from a newer schema.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // SolveQualityLoadAware solves the §IX-A variant where path delay and
 // loss respond to the solution's own traffic (non-linear, fixed-point

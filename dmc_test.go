@@ -269,7 +269,10 @@ func TestFacadeLinkDirectUse(t *testing.T) {
 // TestFacadeServer exercises the serving façade: NewServer over HTTP
 // with a session-keyed warm re-solve and a metrics snapshot.
 func TestFacadeServer(t *testing.T) {
-	srv := dmc.NewServer(dmc.ServeConfig{Shards: 1})
+	srv, err := dmc.NewServer(dmc.ServeConfig{Shards: 1})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

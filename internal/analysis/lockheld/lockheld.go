@@ -17,7 +17,10 @@
 // selects without a default (a select WITH default is the sanctioned
 // non-blocking idiom — enqueue's bounded-queue send), ranges over
 // channels, time.Sleep, WaitGroup/Cond waits, calls into net and
-// net/http, and calls to any function whose transitive body can block —
+// net/http, file IO (*os.File methods and the os package's filesystem
+// calls — a journal append or fsync under a registry mutex stalls every
+// solve on the shard behind the disk), and calls to any function whose
+// transitive body can block —
 // the may-block call graph, computed per package and exported as a
 // fact so it crosses package boundaries. Registry-tier regions
 // additionally flag Solve*/Resolve*/Solution calls by name; at the slot
@@ -475,9 +478,12 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 
 // isBlockingStdCall reports whether fn is a standard-library call the
 // analyzer treats as blocking by definition: time.Sleep, WaitGroup and
-// Cond waits, and anything in net or net/http (conservative — even a
+// Cond waits, anything in net or net/http (conservative — even a
 // non-blocking helper from those packages has no business inside a
-// guarded critical section).
+// guarded critical section), and file IO — every *os.File method
+// (Write, Sync, Read, ...) and the package-level filesystem calls hit
+// the disk, so snapshot/journal IO can never run under a registry
+// mutex.
 func isBlockingStdCall(fn *types.Func) bool {
 	pkg := fn.Pkg()
 	if pkg == nil {
@@ -490,6 +496,24 @@ func isBlockingStdCall(fn *types.Func) bool {
 		return fn.Name() == "Wait" // (*WaitGroup).Wait, (*Cond).Wait
 	case "net", "net/http":
 		return true
+	case "os":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			return ok && named.Obj().Name() == "File"
+		}
+		switch fn.Name() {
+		case "Create", "CreateTemp", "Open", "OpenFile", "OpenRoot",
+			"Rename", "Remove", "RemoveAll", "Link", "Symlink",
+			"Mkdir", "MkdirAll", "MkdirTemp", "Truncate",
+			"ReadFile", "WriteFile", "ReadDir", "Readlink",
+			"Chmod", "Chown", "Chtimes", "Stat", "Lstat":
+			return true
+		}
+		return false
 	}
 	return false
 }

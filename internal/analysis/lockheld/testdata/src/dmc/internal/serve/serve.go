@@ -4,6 +4,7 @@
 package serve
 
 import (
+	"os"
 	"sync"
 
 	"dmc/internal/core"
@@ -29,6 +30,32 @@ func (s *Server) badAdmit() {
 	s.admitMu.Lock()
 	s.queue <- 1 // want `channel send while registry mutex serve.Server.admitMu is held`
 	s.admitMu.Unlock()
+}
+
+// badJournalWrite: file IO is blocking — a journal append or fsync
+// under the registry mutex stalls every solve on the shard behind the
+// disk.
+func (s *Server) badJournalWrite(f *os.File) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	_, _ = f.Write(nil) // want `\(\*os\.File\)\.Write call while registry mutex serve\.Server\.smu is held`
+	_ = f.Sync()        // want `\(\*os\.File\)\.Sync call while registry mutex serve\.Server\.smu is held`
+}
+
+// badSlotRename: the slot tier spans solves, never file IO.
+func (se *session) badSlotRename() {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	_ = os.Rename("a", "b") // want `os.Rename call while session-slot mutex serve.session.mu is held`
+}
+
+// goodCaptureThenWrite: capture state under the lock, write after
+// release — the durability layer's required shape.
+func (s *Server) goodCaptureThenWrite(f *os.File) {
+	s.smu.RLock()
+	n := cap(s.queue)
+	s.smu.RUnlock()
+	_, _ = f.Write(make([]byte, n))
 }
 
 // goodRead: plain map/field work under the registry lock is fine.

@@ -370,6 +370,67 @@ func (a *Adaptor) Solution() (*core.Solution, bool, error) {
 // Resolves counts how many times the LP was solved.
 func (a *Adaptor) Resolves() int { return a.resolves }
 
+// PathState is the exportable state of one path's §VIII-A estimators:
+// the loss counters and the RFC 6298 RTT terms, exactly the fields a
+// Restore needs to continue the estimate stream bit-for-bit. Durations
+// stay in seconds (the estimators' native unit) so State∘Restore is an
+// identity even across a serialization boundary.
+type PathState struct {
+	// Sent and Lost are the loss estimator's counters.
+	Sent, Lost int64
+	// SRTT and RTTVar are the smoothed RTT terms in seconds.
+	SRTT, RTTVar float64
+	// RTTSamples is how many RTT observations were folded in.
+	RTTSamples int64
+}
+
+// State exports the adaptor's per-path estimator counters. The snapshot
+// is self-contained: Restore on a fresh Adaptor over the same base
+// network reproduces identical estimates (and therefore identical
+// EstimatedNetwork output and drift decisions).
+func (a *Adaptor) State() []PathState {
+	out := make([]PathState, len(a.loss))
+	for i := range out {
+		out[i] = PathState{
+			Sent:       a.loss[i].sent,
+			Lost:       a.loss[i].lost,
+			SRTT:       a.rtt[i].srtt,
+			RTTVar:     a.rtt[i].rttvar,
+			RTTSamples: a.rtt[i].n,
+		}
+	}
+	return out
+}
+
+// Restore overwrites the estimator counters from a State export and
+// discards any cached solution, so the next Solution call re-solves
+// from the restored estimates. It rejects a snapshot whose path count
+// does not match the base network or whose counters are malformed.
+func (a *Adaptor) Restore(st []PathState) error {
+	if len(st) != len(a.loss) {
+		return fmt.Errorf("estimate: restoring %d path states onto a %d-path network", len(st), len(a.loss))
+	}
+	for i, ps := range st {
+		if ps.Sent < 0 || ps.Lost < 0 || ps.Lost > ps.Sent {
+			return fmt.Errorf("estimate: path %d needs 0 <= lost <= sent, got sent=%d lost=%d", i, ps.Sent, ps.Lost)
+		}
+		if ps.RTTSamples < 0 {
+			return fmt.Errorf("estimate: path %d has negative RTT sample count %d", i, ps.RTTSamples)
+		}
+		if math.IsNaN(ps.SRTT) || math.IsInf(ps.SRTT, 0) || ps.SRTT < 0 ||
+			math.IsNaN(ps.RTTVar) || math.IsInf(ps.RTTVar, 0) || ps.RTTVar < 0 {
+			return fmt.Errorf("estimate: path %d has malformed RTT terms srtt=%v rttvar=%v", i, ps.SRTT, ps.RTTVar)
+		}
+	}
+	for i, ps := range st {
+		a.loss[i] = Loss{sent: ps.Sent, lost: ps.Lost}
+		a.rtt[i] = RTT{srtt: ps.SRTT, rttvar: ps.RTTVar, n: ps.RTTSamples}
+	}
+	a.solution = nil
+	a.solvedOn = nil
+	return nil
+}
+
 func (a *Adaptor) relTol() float64 {
 	if a.RelTol <= 0 {
 		return 0.1

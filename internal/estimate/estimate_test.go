@@ -287,3 +287,93 @@ func TestAdaptorEstimatedNetworkReusesScratch(t *testing.T) {
 		t.Errorf("EstimatedNetwork allocates %v per call, want 0", allocs)
 	}
 }
+
+// TestAdaptorStateRestoreRoundTrip pins the durability contract: a
+// fresh adaptor restored from another's State reproduces its estimates
+// bit-for-bit — identical estimated network, identical solution, and
+// identical drift behavior afterwards.
+func TestAdaptorStateRestoreRoundTrip(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 400; i++ {
+		p := rng.IntN(2)
+		a.ObserveSend(p)
+		if rng.Float64() < 0.07 {
+			a.ObserveLoss(p)
+		}
+		a.ObserveRTT(p, time.Duration(100+rng.IntN(400))*time.Millisecond)
+	}
+	solA, _, err := a.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(a.State()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	na, nb := a.EstimatedNetwork(), b.EstimatedNetwork()
+	for i := range na.Paths {
+		if na.Paths[i].Loss != nb.Paths[i].Loss || na.Paths[i].Delay != nb.Paths[i].Delay {
+			t.Fatalf("path %d estimate diverged: %+v vs %+v", i, na.Paths[i], nb.Paths[i])
+		}
+	}
+	solB, solved, err := b.Solution()
+	if err != nil || !solved {
+		t.Fatalf("restored Solution: solved=%v err=%v", solved, err)
+	}
+	if solA.Quality != solB.Quality {
+		t.Errorf("restored quality %v != original %v", solB.Quality, solA.Quality)
+	}
+	// Same further observations → same drift verdicts.
+	for _, ad := range []*Adaptor{a, b} {
+		ad.ObserveSends(0, 50)
+		ad.ObserveLosses(0, 25)
+	}
+	_, drA, err := a.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, drB, err := b.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drA != drB {
+		t.Errorf("drift verdicts diverged: original=%v restored=%v", drA, drB)
+	}
+}
+
+// TestAdaptorRestoreRejectsMalformed pins Restore's validation: wrong
+// path count and corrupt counters must not silently poison the
+// estimators.
+func TestAdaptorRestoreRejectsMalformed(t *testing.T) {
+	a, err := NewAdaptor(baseNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		st   []PathState
+	}{
+		{"wrong path count", []PathState{{}}},
+		{"lost over sent", []PathState{{Sent: 1, Lost: 2}, {}}},
+		{"negative sent", []PathState{{Sent: -1}, {}}},
+		{"negative rtt samples", []PathState{{RTTSamples: -1}, {}}},
+		{"NaN srtt", []PathState{{SRTT: math.NaN()}, {}}},
+		{"negative rttvar", []PathState{{RTTVar: -1}, {}}},
+	} {
+		if err := a.Restore(tc.st); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// And the failed restores left the adaptor usable.
+	if _, _, err := a.Solution(); err != nil {
+		t.Errorf("adaptor unusable after rejected restores: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// validSessionState builds a minimal valid estimator session state over
+// the Table III network.
+func validSessionState(t *testing.T) *SessionState {
+	t.Helper()
+	var n Network
+	if err := Load(strings.NewReader(tableIIIJSON), &n); err != nil {
+		t.Fatal(err)
+	}
+	return &SessionState{
+		ID:        "sess-1",
+		Solve:     Solve{Network: n},
+		Estimator: true,
+		Estimates: []PathEstimate{
+			{Sent: 100, Lost: 5, SRTTSec: 0.45, RTTVarSec: 0.02, RTTSamples: 40},
+			{Sent: 80, Lost: 0, SRTTSec: 0.15, RTTVarSec: 0.01, RTTSamples: 40},
+		},
+	}
+}
+
+func validRecord(t *testing.T) *SnapshotRecord {
+	t.Helper()
+	return &SnapshotRecord{
+		Version: SnapshotVersion,
+		Seq:     7,
+		Kind:    RecordSession,
+		Session: validSessionState(t),
+	}
+}
+
+func TestSnapshotRecordValidateOK(t *testing.T) {
+	if err := validRecord(t).Validate(); err != nil {
+		t.Fatalf("valid session record rejected: %v", err)
+	}
+	drop := &SnapshotRecord{Version: SnapshotVersion, Seq: 8, Kind: RecordDrop, SessionID: "sess-1"}
+	if err := drop.Validate(); err != nil {
+		t.Fatalf("valid drop record rejected: %v", err)
+	}
+}
+
+// TestSnapshotRecordValidateErrors walks every structural error path of
+// the record schema: each mutation must be rejected, and the error must
+// say something useful (non-empty, mentions scenario).
+func TestSnapshotRecordValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(r *SnapshotRecord)
+	}{
+		{"missing version", func(r *SnapshotRecord) { r.Version = 0 }},
+		{"negative version", func(r *SnapshotRecord) { r.Version = -3 }},
+		{"unknown kind", func(r *SnapshotRecord) { r.Kind = "checkpoint" }},
+		{"empty kind", func(r *SnapshotRecord) { r.Kind = "" }},
+		{"session record without payload", func(r *SnapshotRecord) { r.Session = nil }},
+		{"session record with stray session_id", func(r *SnapshotRecord) { r.SessionID = "stray" }},
+		{"drop record without session_id", func(r *SnapshotRecord) {
+			r.Kind = RecordDrop
+			r.Session = nil
+			r.SessionID = ""
+		}},
+		{"drop record with stray session payload", func(r *SnapshotRecord) {
+			r.Kind = RecordDrop
+			r.SessionID = "sess-1"
+		}},
+		{"session without id", func(r *SnapshotRecord) { r.Session.ID = "" }},
+		{"invalid binding network", func(r *SnapshotRecord) { r.Session.Solve.Network.RateMbps = -1 }},
+		{"invalid binding objective", func(r *SnapshotRecord) { r.Session.Solve.Objective = "fastest" }},
+		{"estimates without estimator flag", func(r *SnapshotRecord) { r.Session.Estimator = false }},
+		{"estimator on non-quality objective", func(r *SnapshotRecord) {
+			r.Session.Solve.Objective = ObjectiveMinCost
+			r.Session.Solve.MinQuality = 0.9
+		}},
+		{"estimate count != path count", func(r *SnapshotRecord) {
+			r.Session.Estimates = r.Session.Estimates[:1]
+		}},
+		{"lost over sent", func(r *SnapshotRecord) { r.Session.Estimates[0] = PathEstimate{Sent: 1, Lost: 2} }},
+		{"negative sent", func(r *SnapshotRecord) { r.Session.Estimates[0].Sent = -1 }},
+		{"negative rtt samples", func(r *SnapshotRecord) { r.Session.Estimates[1].RTTSamples = -1 }},
+		{"NaN srtt", func(r *SnapshotRecord) { r.Session.Estimates[0].SRTTSec = math.NaN() }},
+		{"infinite rttvar", func(r *SnapshotRecord) { r.Session.Estimates[0].RTTVarSec = math.Inf(1) }},
+		{"negative srtt", func(r *SnapshotRecord) { r.Session.Estimates[0].SRTTSec = -0.1 }},
+	}
+	for _, tc := range cases {
+		r := validRecord(t)
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "scenario") {
+			t.Errorf("%s: error %q does not identify its source", tc.name, err)
+		}
+	}
+}
+
+// TestSnapshotFutureVersionRejected is the schema-evolution contract: a
+// record from a newer build — carrying fields this build has never
+// heard of — must be rejected BY VERSION with a clear error, never
+// mis-parsed into the old shape or bounced with a confusing
+// unknown-field error.
+func TestSnapshotFutureVersionRejected(t *testing.T) {
+	future := `{"v": 2, "seq": 9, "kind": "session", "shard_affinity": "warm-7",
+		"session": {"id": "s", "epoch": 4}}`
+	v, err := SnapshotRecordVersion([]byte(future))
+	if err != nil {
+		t.Fatalf("version peek must tolerate unknown fields: %v", err)
+	}
+	if v != 2 {
+		t.Fatalf("peeked version %d, want 2", v)
+	}
+	err = CheckSnapshotVersion(v)
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	for _, want := range []string{"v2", "newer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("rejection %q should mention %q", err, want)
+		}
+	}
+	// Versions this build writes stay accepted; the probe also rejects
+	// garbage that is not JSON at all.
+	if err := CheckSnapshotVersion(SnapshotVersion); err != nil {
+		t.Errorf("own version rejected: %v", err)
+	}
+	if _, err := SnapshotRecordVersion([]byte("\x00\x01garbage")); err == nil {
+		t.Error("non-JSON record accepted by version peek")
+	}
+}

@@ -99,10 +99,13 @@ func TestChaosFleetSurvivesFaultStorms(t *testing.T) {
 	defer fault.Deactivate()
 	iters := chaosIters(t)
 
-	srv := New(Config{
+	srv, err := New(Config{
 		Shards: 2, BatchWindow: time.Millisecond,
 		BreakerThreshold: 6, BreakerCooldown: 50 * time.Millisecond,
 	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := ts.URL

@@ -173,6 +173,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		objective:  obj,
 		minQuality: req.MinQuality,
 		deadline:   s.deadlineFor(req.BudgetMs),
+		wire:       &req.Solve,
 	}
 	if req.Timeout != nil {
 		t.toOpts = req.Timeout.Options()

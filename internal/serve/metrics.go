@@ -94,6 +94,10 @@ type shardMetrics struct {
 	shedExpired    atomic.Uint64
 	abandonedTasks atomic.Uint64
 	degraded       atomic.Uint64
+
+	// retrySeq drives the deterministic Retry-After jitter: each hint
+	// consumes one tick of a counter-keyed hash stream.
+	retrySeq atomic.Uint64
 }
 
 // observe records one completed task.
@@ -178,12 +182,33 @@ type ShardMetrics struct {
 	P99Ms float64 `json:"p99_ms"`
 }
 
+// DurabilityMetrics is the state-dir section of /metrics (present only
+// with persistence enabled).
+type DurabilityMetrics struct {
+	// RestoredSessions is how many sessions this process rebuilt from
+	// the state dir at boot.
+	RestoredSessions int `json:"restored_sessions"`
+	// Snapshots counts compacting full snapshots written (periodic and
+	// final); JournalBytes/JournalRecords describe the live journal
+	// since the last one.
+	Snapshots      uint64 `json:"snapshots"`
+	JournalBytes   int64  `json:"journal_bytes"`
+	JournalRecords uint64 `json:"journal_records"`
+	// JournalErrors counts appends that failed (each one failed its
+	// request: acknowledged always implies journaled).
+	JournalErrors uint64 `json:"journal_errors"`
+	// TruncatedBytes is how much torn/corrupt journal suffix boot
+	// recovery has cut back to the last valid record.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}
+
 // Metrics is the full /metrics document.
 type Metrics struct {
 	UptimeSec float64 `json:"uptime_sec"`
 	// Sessions is the total live session count across shards.
-	Sessions int            `json:"sessions"`
-	Shards   []ShardMetrics `json:"shards"`
+	Sessions   int                `json:"sessions"`
+	Shards     []ShardMetrics     `json:"shards"`
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
 }
 
 // Metrics snapshots every shard's counters.
@@ -220,6 +245,16 @@ func (s *Server) Metrics() Metrics {
 		}
 		out.Sessions += sm.Sessions
 		out.Shards[i] = sm
+	}
+	if p := s.persist; p != nil {
+		out.Durability = &DurabilityMetrics{
+			RestoredSessions: s.restored,
+			Snapshots:        p.snapshots.Load(),
+			JournalBytes:     p.journalBytes.Load(),
+			JournalRecords:   p.journalRecords.Load(),
+			JournalErrors:    p.journalErrors.Load(),
+			TruncatedBytes:   p.truncatedBytes.Load(),
+		}
 	}
 	return out
 }

@@ -1,0 +1,413 @@
+// Durability layer: a versioned snapshot + append-only journal of
+// session state, so a dmcd restart — deploy, OOM-kill, crash — does not
+// silently discard every session's §VIII-A estimator counters,
+// objective binding, and last good strategy.
+//
+// On-disk layout under the state dir:
+//
+//	snapshot    full state at the last compaction (atomic: written to
+//	            snapshot.tmp, fsync'd, renamed over, dir fsync'd)
+//	journal     records appended since that snapshot, each fsync'd
+//	            before the request that produced it is acknowledged
+//	            (unless Config.JournalNoSync)
+//
+// Both files are streams of framed scenario.SnapshotRecord values:
+// a 4-byte little-endian payload length, a 4-byte CRC32 (IEEE) of the
+// payload, then the JSON payload. Replay applies snapshot then journal,
+// keeping the highest-Seq record per session, so a crash between the
+// snapshot rename and the journal reset re-applies stale records
+// harmlessly. A torn or corrupt journal suffix truncates to the last
+// valid record instead of failing boot; a record from a newer schema
+// version refuses boot with a clear error — losing state silently and
+// guessing at a future layout are the two failure modes this file
+// exists to rule out.
+//
+// Lock discipline: all file IO runs under the persister's own mutex,
+// never under Server.smu or a session mutex — the lockheld analyzer
+// treats file writes and fsync as blocking operations, so holding a
+// guarded lock across journal IO is machine-checked away. State is
+// captured in memory under the session lock, appended after release.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dmc/internal/fault"
+	"dmc/internal/scenario"
+)
+
+// The durability layer's injection seams: record writes (torn-write
+// class failures surface here), fsync (the acknowledged-but-not-durable
+// window), and replay reads (short reads and IO errors at boot).
+var (
+	fpPersistWrite  = fault.Register("persist.write")
+	fpPersistFsync  = fault.Register("persist.fsync")
+	fpPersistReplay = fault.Register("persist.replay")
+)
+
+const (
+	snapshotFile = "snapshot"
+	journalFile  = "journal"
+
+	// frameHeaderLen is the per-record framing overhead: payload length
+	// plus CRC32, both little-endian uint32.
+	frameHeaderLen = 8
+
+	// maxRecordBytes bounds a single record at replay, so a garbage
+	// length field cannot demand an absurd allocation. Session records
+	// are a few KB even with large strategies.
+	maxRecordBytes = 16 << 20
+
+	// defaultSnapshotBytes is the journal size that triggers a
+	// compacting snapshot when Config.SnapshotBytes is zero.
+	defaultSnapshotBytes = 4 << 20
+)
+
+// persister owns the state dir: the open journal, the append path, and
+// snapshot compaction. Safe for concurrent use; all IO serializes on mu.
+type persister struct {
+	dir           string
+	snapshotBytes int64
+	noSync        bool
+
+	mu      sync.Mutex
+	journal *os.File
+	closed  bool
+
+	// Metrics, readable without mu.
+	journalBytes   atomic.Int64
+	journalRecords atomic.Uint64
+	journalErrors  atomic.Uint64
+	snapshots      atomic.Uint64
+	truncatedBytes atomic.Int64
+	snapshotting   atomic.Bool
+	maxSeq         atomic.Uint64
+}
+
+// openPersister opens (creating if needed) the state dir, replays
+// snapshot + journal, and returns the persister plus the restored
+// session records keyed by session ID (drop records already applied).
+func openPersister(dir string, snapshotBytes int64, noSync bool) (*persister, map[string]*scenario.SessionState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	if snapshotBytes == 0 {
+		snapshotBytes = defaultSnapshotBytes
+	}
+	p := &persister{dir: dir, snapshotBytes: snapshotBytes, noSync: noSync}
+
+	state := make(map[string]*scenario.SessionState)
+	shadow := make(seqShadow)
+	// Snapshot first: it is the compacted prefix of the journal's
+	// history. It was written atomically, so corruption here is bitrot
+	// or an operator mistake — refuse boot rather than serve a silently
+	// truncated fleet.
+	if err := p.replayFile(filepath.Join(dir, snapshotFile), state, shadow, false); err != nil {
+		return nil, nil, err
+	}
+	// Then the journal, tolerating (and truncating) a torn suffix: the
+	// process can die mid-append, and everything before the tear was
+	// acknowledged durable.
+	if err := p.replayFile(filepath.Join(dir, journalFile), state, shadow, true); err != nil {
+		return nil, nil, err
+	}
+
+	j, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	if fi, err := j.Stat(); err == nil {
+		p.journalBytes.Store(fi.Size())
+	}
+	p.journal = j
+	return p, state, nil
+}
+
+// replayFile folds one record file into state. With truncateOnCorrupt,
+// a torn/corrupt/short-read suffix is cut back to the last valid record
+// (journal semantics); without it any damage is a hard error (snapshot
+// semantics). Future-version and structurally invalid records are hard
+// errors either way — they were written intact, so ignoring them would
+// silently drop durable state.
+func (p *persister) replayFile(path string, state map[string]*scenario.SessionState, shadow seqShadow, truncateOnCorrupt bool) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: opening %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+
+	var off int64
+	var hdr [frameHeaderLen]byte
+	buf := make([]byte, 0, 4096)
+	corrupt := func(reason string) error {
+		if !truncateOnCorrupt {
+			return fmt.Errorf("serve: %s corrupt at offset %d (%s); refusing to boot from a damaged snapshot", filepath.Base(path), off, reason)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("serve: %s: %w", filepath.Base(path), err)
+		}
+		dropped := fi.Size() - off
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("serve: truncating %s to last valid record: %w", filepath.Base(path), err)
+		}
+		p.truncatedBytes.Add(dropped)
+		log.Printf("serve: %s: %s at offset %d; truncated %d byte suffix to the last valid record", filepath.Base(path), reason, off, dropped)
+		return nil
+	}
+
+	for {
+		if err := fpPersistReplay.Hit(); err != nil {
+			return corrupt(fmt.Sprintf("injected replay fault: %v", err))
+		}
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return corrupt(fmt.Sprintf("torn frame header (%d of %d bytes)", n, frameHeaderLen))
+			}
+			return corrupt(fmt.Sprintf("reading frame header: %v", err))
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size == 0 || size > maxRecordBytes {
+			return corrupt(fmt.Sprintf("implausible record length %d", size))
+		}
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if n, err := io.ReadFull(f, buf); err != nil {
+			return corrupt(fmt.Sprintf("torn record payload (%d of %d bytes)", n, size))
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return corrupt("record checksum mismatch")
+		}
+
+		// The frame is intact: from here every problem is semantic, and
+		// semantic problems are hard errors — an unreadable-but-durable
+		// record means state this build must not silently discard.
+		v, err := scenario.SnapshotRecordVersion(buf)
+		if err != nil {
+			return fmt.Errorf("serve: %s offset %d: %w", filepath.Base(path), off, err)
+		}
+		if err := scenario.CheckSnapshotVersion(v); err != nil {
+			return fmt.Errorf("serve: %s offset %d: %w", filepath.Base(path), off, err)
+		}
+		var rec scenario.SnapshotRecord
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return fmt.Errorf("serve: %s offset %d: parsing record: %w", filepath.Base(path), off, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return fmt.Errorf("serve: %s offset %d: %w", filepath.Base(path), off, err)
+		}
+		applyRecord(state, shadow, &rec)
+		if rec.Seq > p.maxSeq.Load() {
+			p.maxSeq.Store(rec.Seq)
+		}
+		off += frameHeaderLen + int64(size)
+	}
+}
+
+// seqShadow tracks the winning Seq per session during replay.
+type seqShadow = map[string]uint64
+
+// applyRecord folds one record into the replay state, newest Seq wins:
+// replay order within a file is append order, but a crash between a
+// snapshot rename and the journal reset leaves stale lower-Seq journal
+// records behind, and two same-session records can land in the journal
+// slightly out of capture order when their waves raced — Seq, assigned
+// under the session lock, is the authority.
+func applyRecord(state map[string]*scenario.SessionState, shadow seqShadow, rec *scenario.SnapshotRecord) {
+	switch rec.Kind {
+	case scenario.RecordSession:
+		id := rec.Session.ID
+		if rec.Seq < shadow[id] {
+			return
+		}
+		shadow[id] = rec.Seq
+		state[id] = rec.Session
+	case scenario.RecordDrop:
+		id := rec.SessionID
+		if rec.Seq < shadow[id] {
+			return
+		}
+		shadow[id] = rec.Seq
+		delete(state, id)
+	}
+}
+
+// frame encodes one record with its length + CRC32 header.
+func frame(rec *scenario.SnapshotRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding snapshot record: %w", err)
+	}
+	out := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeaderLen:], payload)
+	return out, nil
+}
+
+// append journals one record durably: framed write, then fsync (unless
+// configured off), before the caller acknowledges the request the
+// record describes. An error means the record may not survive a crash —
+// the caller must fail the request rather than acknowledge state the
+// journal does not hold.
+func (p *persister) append(rec *scenario.SnapshotRecord) error {
+	data, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	if err := fpPersistWrite.Hit(); err != nil {
+		p.journalErrors.Add(1)
+		return fmt.Errorf("serve: journal write: %w", err)
+	}
+	if _, err := p.journal.Write(data); err != nil {
+		p.journalErrors.Add(1)
+		return fmt.Errorf("serve: journal write: %w", err)
+	}
+	if !p.noSync {
+		if err := p.fsyncJournalLocked(); err != nil {
+			p.journalErrors.Add(1)
+			return err
+		}
+	}
+	p.journalBytes.Add(int64(len(data)))
+	p.journalRecords.Add(1)
+	return nil
+}
+
+func (p *persister) fsyncJournalLocked() error {
+	if err := fpPersistFsync.Hit(); err != nil {
+		return fmt.Errorf("serve: journal fsync: %w", err)
+	}
+	if err := p.journal.Sync(); err != nil {
+		return fmt.Errorf("serve: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// shouldSnapshot reports whether the journal has outgrown its
+// compaction threshold.
+func (p *persister) shouldSnapshot() bool {
+	return p.snapshotBytes > 0 && p.journalBytes.Load() >= p.snapshotBytes
+}
+
+// writeSnapshot atomically replaces the snapshot with recs and resets
+// the journal. Crash-ordering: the temp snapshot is fully written and
+// fsync'd, renamed over the old one, the directory fsync'd — only then
+// is the journal truncated. A crash anywhere in between replays the old
+// snapshot + full journal, or the new snapshot + a stale journal whose
+// lower-Seq records lose at replay. Either way, no acknowledged state
+// is lost.
+func (p *persister) writeSnapshot(recs []*scenario.SnapshotRecord) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	tmpPath := filepath.Join(p.dir, snapshotFile+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename
+	for _, rec := range recs {
+		data, err := frame(rec)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := fpPersistWrite.Hit(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: snapshot write: %w", err)
+		}
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: snapshot write: %w", err)
+		}
+	}
+	if err := fpPersistFsync.Hit(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot fsync: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(p.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("serve: snapshot rename: %w", err)
+	}
+	if err := p.fsyncDir(); err != nil {
+		return err
+	}
+
+	// The snapshot is durable; the journal's records are now redundant
+	// (their Seqs are baked into the snapshot). Reset it in place.
+	if err := p.journal.Truncate(0); err != nil {
+		return fmt.Errorf("serve: journal reset: %w", err)
+	}
+	if _, err := p.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("serve: journal reset: %w", err)
+	}
+	p.journalBytes.Store(0)
+	p.snapshots.Add(1)
+	return nil
+}
+
+// fsyncDir makes the snapshot rename itself durable.
+func (p *persister) fsyncDir() error {
+	if err := fpPersistFsync.Hit(); err != nil {
+		return fmt.Errorf("serve: state dir fsync: %w", err)
+	}
+	d, err := os.Open(p.dir)
+	if err != nil {
+		return fmt.Errorf("serve: state dir fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("serve: state dir fsync: %w", err)
+	}
+	return nil
+}
+
+// close releases the journal handle. Pending data is already on disk
+// (append fsyncs per record unless JournalNoSync); with JournalNoSync a
+// final fsync narrows the loss window.
+func (p *persister) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.noSync {
+		_ = p.journal.Sync()
+	}
+	_ = p.journal.Close()
+}

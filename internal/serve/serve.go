@@ -75,6 +75,20 @@ type Config struct {
 	// "degraded": true) instead of a 503 while its shard's breaker is
 	// open.
 	ServeDegraded bool
+	// StateDir enables crash-safe durability: every session's
+	// scenario/objective binding, §VIII-A estimator counters, and last
+	// good strategy are journaled to this directory (snapshot +
+	// append-only journal) and restored on the next New. Empty disables
+	// persistence. See persist.go for the on-disk format.
+	StateDir string
+	// SnapshotBytes is the journal size that triggers a compacting full
+	// snapshot. Zero means 4 MB; negative disables size-triggered
+	// compaction (the final snapshot on Close still runs).
+	SnapshotBytes int64
+	// JournalNoSync skips the per-record fsync on journal appends,
+	// trading the crash-durability guarantee (acknowledged implies
+	// journaled) for append throughput. Snapshots still fsync.
+	JournalNoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +172,10 @@ type task struct {
 	objective  string
 	minQuality float64
 	toOpts     core.TimeoutOptions
+	// wire is the request's original Solve body, kept so a successful
+	// session solve can record its binding in the durability journal
+	// without re-deriving the wire form from the model network.
+	wire *scenario.Solve
 
 	done chan taskResult // buffered(1): exec never blocks on a gone client
 	enq  time.Time
@@ -204,6 +222,11 @@ type session struct {
 	// breaker is open. It is a self-contained copy (NewSolveResult
 	// extracts), so serving it never races solver storage.
 	lastGood *scenario.SolveResult
+	// binding is the wire form of the session's current solve request
+	// (network + objective), the scenario half of its durable state.
+	// Nil until the first successful solve. The pointed-to Solve is
+	// never mutated, so snapshot captures may share it.
+	binding *scenario.Solve
 }
 
 // lastGoodResult returns the session's last good result, or nil.
@@ -244,6 +267,14 @@ type Server struct {
 	admitMu   sync.RWMutex // held shared across enqueue's closed-check + send; exclusively by Close's barrier
 	wg        sync.WaitGroup
 
+	// persist is the durability layer (nil without Config.StateDir);
+	// stateSeq orders its records (seeded past the replayed maximum so
+	// new records always outrank restored ones), restored counts the
+	// sessions reconstructed at boot.
+	persist  *persister
+	stateSeq atomic.Uint64
+	restored int
+
 	// panicLog rate-limits panic stacks to one full log line per server;
 	// every later panic only bumps the shard's panics counter.
 	panicLog sync.Once
@@ -258,8 +289,14 @@ func (s *Server) logPanic(sp *SolverPanic) {
 }
 
 // New starts a Server: cfg.Shards WarmPool shards, each with a running
-// wave worker.
-func New(cfg Config) *Server {
+// wave worker. With Config.StateDir set it first replays the state
+// dir's snapshot + journal and re-registers every durable session —
+// estimator feeds resume from their restored counters, degraded serving
+// resumes from the restored last-good strategies, and the first solve
+// per session re-primes its warm solver (solver warmth is deliberately
+// not persisted; it returns after one solve). New fails when the state
+// dir is unusable or holds records from a newer schema version.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -277,10 +314,164 @@ func New(cfg Config) *Server {
 			brk:  breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 		}
 		s.shards[i] = sh
+	}
+	if cfg.StateDir != "" {
+		p, state, err := openPersister(cfg.StateDir, cfg.SnapshotBytes, cfg.JournalNoSync)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+		s.stateSeq.Store(p.maxSeq.Load())
+		for _, st := range state {
+			if err := s.restoreSession(st); err != nil {
+				// A record that validated at replay but cannot rebuild its
+				// session (e.g. an estimator network that no longer converts)
+				// is a bug worth failing loudly on: silently dropping it is
+				// exactly the state loss this layer exists to prevent.
+				p.close()
+				return nil, fmt.Errorf("serve: restoring session %q: %w", st.ID, err)
+			}
+		}
+		s.restored = len(state)
+	}
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.runShard(sh)
 	}
-	return s
+	return s, nil
+}
+
+// restoreSession re-registers one session from its durable record. The
+// registration is cheap — no solver work happens until the session's
+// first request, whose solve re-primes the warm pool from the restored
+// estimates.
+func (s *Server) restoreSession(st *scenario.SessionState) error {
+	binding := st.Solve
+	se := &session{
+		id:       st.ID,
+		sh:       s.shardFor(st.ID),
+		binding:  &binding,
+		lastGood: st.LastGood,
+	}
+	if st.Estimator {
+		net, err := binding.Network.ToNetwork()
+		if err != nil {
+			return err
+		}
+		ad, err := estimate.NewAdaptor(net)
+		if err != nil {
+			return err
+		}
+		if s.cfg.EstimatorRelTol > 0 {
+			ad.RelTol = s.cfg.EstimatorRelTol
+		}
+		if err := ad.Restore(estimatesFromWire(st.Estimates)); err != nil {
+			return err
+		}
+		se.adaptor = ad
+	}
+	s.sessions[st.ID] = se
+	return nil
+}
+
+// estimatesToWire copies adaptor counters into the snapshot schema.
+func estimatesToWire(st []estimate.PathState) []scenario.PathEstimate {
+	out := make([]scenario.PathEstimate, len(st))
+	for i, e := range st {
+		out[i] = scenario.PathEstimate{
+			Sent:       e.Sent,
+			Lost:       e.Lost,
+			SRTTSec:    e.SRTT,
+			RTTVarSec:  e.RTTVar,
+			RTTSamples: e.RTTSamples,
+		}
+	}
+	return out
+}
+
+// estimatesFromWire is the inverse of estimatesToWire. Both sides keep
+// the RTT terms in seconds, so restore is bit-exact.
+func estimatesFromWire(w []scenario.PathEstimate) []estimate.PathState {
+	out := make([]estimate.PathState, len(w))
+	for i, e := range w {
+		out[i] = estimate.PathState{
+			Sent:       e.Sent,
+			Lost:       e.Lost,
+			SRTT:       e.SRTTSec,
+			RTTVar:     e.RTTVarSec,
+			RTTSamples: e.RTTSamples,
+		}
+	}
+	return out
+}
+
+// captureLocked snapshots one session's durable state into a journal
+// record; the caller holds se.mu. Nil when persistence is off or the
+// session has no binding yet (nothing durable to say). Only the capture
+// happens under the lock: the record shares the session's binding and
+// lastGood pointers — both immutable once published — and the estimator
+// counters are copied out by State, so framing and file IO run after
+// release (lockheld: file writes block).
+func (s *Server) captureLocked(se *session) *scenario.SnapshotRecord {
+	if s.persist == nil || se.binding == nil {
+		return nil
+	}
+	st := &scenario.SessionState{
+		ID:       se.id,
+		Solve:    *se.binding,
+		LastGood: se.lastGood,
+	}
+	if se.adaptor != nil {
+		st.Estimator = true
+		st.Estimates = estimatesToWire(se.adaptor.State())
+	}
+	return &scenario.SnapshotRecord{
+		Version: scenario.SnapshotVersion,
+		Seq:     s.stateSeq.Add(1),
+		Kind:    scenario.RecordSession,
+		Session: st,
+	}
+}
+
+// snapshotNow captures every live session and writes a full compacting
+// snapshot. Registry and session locks are released before any file IO.
+func (s *Server) snapshotNow() error {
+	if s.persist == nil {
+		return nil
+	}
+	s.smu.RLock()
+	ses := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		ses = append(ses, se)
+	}
+	s.smu.RUnlock()
+	recs := make([]*scenario.SnapshotRecord, 0, len(ses))
+	for _, se := range ses {
+		se.mu.Lock()
+		var rec *scenario.SnapshotRecord
+		if !se.dropped {
+			rec = s.captureLocked(se)
+		}
+		se.mu.Unlock()
+		if rec != nil {
+			recs = append(recs, rec)
+		}
+	}
+	return s.persist.writeSnapshot(recs)
+}
+
+// compact runs one snapshot compaction, singleflight: waves on every
+// shard can cross the journal threshold at once, one of them wins and
+// the rest skip. Failure is logged, not fatal — the journal simply
+// keeps growing until a later compaction succeeds.
+func (s *Server) compact() {
+	if !s.persist.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.persist.snapshotting.Store(false)
+	if err := s.snapshotNow(); err != nil {
+		log.Printf("serve: snapshot compaction failed (journal keeps growing): %v", err)
+	}
 }
 
 // shardFor hashes a session ID onto its shard. Stable by construction:
@@ -329,11 +520,30 @@ func (s *Server) DropSession(id string) {
 	if se == nil {
 		return
 	}
+	var rec *scenario.SnapshotRecord
 	se.mu.Lock()
 	se.dropped = true
 	se.adaptor = nil
+	if s.persist != nil && se.binding != nil {
+		// Seq is assigned inside the critical section so the drop orders
+		// after any in-flight capture of this session; the append itself
+		// waits for the locks to go.
+		rec = &scenario.SnapshotRecord{
+			Version:   scenario.SnapshotVersion,
+			Seq:       s.stateSeq.Add(1),
+			Kind:      scenario.RecordDrop,
+			SessionID: id,
+		}
+	}
 	se.mu.Unlock()
 	se.sh.pool.DropSession(id)
+	if rec != nil {
+		if err := s.persist.append(rec); err != nil {
+			// The drop already happened in memory; at worst a crash before
+			// the next snapshot resurrects the session as restorable state.
+			log.Printf("serve: journaling drop of session %q: %v", id, err)
+		}
+	}
 }
 
 // Sessions returns the live session count.
@@ -387,15 +597,24 @@ func (s *Server) deadlineFor(budgetMs float64) time.Time {
 	return time.Now().Add(budget)
 }
 
-// retryAfter estimates how long a rejected caller should back off:
-// the queue's expected drain time at the shard's median latency,
-// clamped to [1s, 30s] whole seconds.
+// retryAfter estimates how long a rejected caller should back off: the
+// queue's expected drain time at the shard's median latency, plus
+// bounded jitter — every client shed from the same wave sees the same
+// queue depth and p50, and identical hints would march them back as one
+// synchronized retry storm. The jitter is deterministic (a counter-keyed
+// hash stream, not a clock or RNG), so the nth rejection on a shard
+// always backs off the same amount and chaos runs replay exactly.
+// Clamped to [1s, 30s] whole seconds.
 func (s *Server) retryAfter(sh *shard) int {
-	p50 := sh.met.quantile(0.50)
-	if p50 <= 0 {
-		return 1
+	var base time.Duration
+	if p50 := sh.met.quantile(0.50); p50 > 0 {
+		base = time.Duration(len(sh.reqs)) * p50
 	}
-	secs := int((time.Duration(len(sh.reqs))*p50 + time.Second - 1) / time.Second)
+	// Jitter spans [0, base/2 + 1s): proportional spread under load, at
+	// least a second of spread when the queue is empty.
+	span := base/2 + time.Second
+	jitter := time.Duration(splitmix64(sh.met.retrySeq.Add(1)) % uint64(span))
+	secs := int((base + jitter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
@@ -405,13 +624,54 @@ func (s *Server) retryAfter(sh *shard) int {
 	return secs
 }
 
+// splitmix64 mixes a counter into a well-distributed 64-bit value
+// (Steele et al.'s SplitMix64 finalizer), the jitter's hash stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Close stops the server gracefully: every already-admitted task is
 // still solved (in-flight waves drain), then the shard workers exit.
-// Requests arriving after Close begin fail with 503. Close is
-// idempotent and safe to call concurrently.
+// With persistence on, the drain ends with a final full snapshot so a
+// graceful restart is lossless by construction. Requests arriving after
+// Close begin fail with 503. Close is idempotent and safe to call
+// concurrently.
 func (s *Server) Close() {
-	if !s.closed.CompareAndSwap(false, true) {
+	if !s.stop() {
 		return
+	}
+	if s.persist != nil {
+		if err := s.snapshotNow(); err != nil {
+			// Not fatal for durability: everything acknowledged is already
+			// fsync'd in the journal; only the compaction is lost.
+			log.Printf("serve: final snapshot: %v", err)
+		}
+		s.persist.close()
+	}
+}
+
+// crash is the hard-stop half of Close that durability tests use to
+// simulate kill -9: workers still stop and drain (the goroutine-leak
+// detector must stay clean), but no final snapshot runs and nothing is
+// flushed beyond what append already made durable — recovery must work
+// from exactly the acknowledged journal.
+func (s *Server) crash() {
+	if !s.stop() {
+		return
+	}
+	if s.persist != nil {
+		s.persist.close()
+	}
+}
+
+// stop flips closed, waits out in-flight admissions, and drains the
+// shard workers. Reports false if the server was already stopped.
+func (s *Server) stop() bool {
+	if !s.closed.CompareAndSwap(false, true) {
+		return false
 	}
 	// Admission barrier: wait out every enqueue that passed the closed
 	// check before the flag flipped (each holds admitMu shared until its
@@ -424,6 +684,7 @@ func (s *Server) Close() {
 		close(sh.stop)
 	}
 	s.wg.Wait()
+	return true
 }
 
 // runShard is the shard worker: block for a first task, coalesce a
@@ -553,6 +814,7 @@ func (s *Server) exec(sh *shard, t *task) {
 		return
 	}
 	var r taskResult
+	var rec *scenario.SnapshotRecord
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -567,8 +829,19 @@ func (s *Server) exec(sh *shard, t *task) {
 			r.err = fmt.Errorf("serve: exec: %w", err)
 			return
 		}
-		r.res, r.resolved, r.err = s.solveTask(sh, t)
+		r.res, r.resolved, rec, r.err = s.solveTask(sh, t)
 	}()
+	if r.err == nil && rec != nil {
+		// Durability before acknowledgement: a solve whose state capture
+		// cannot be journaled fails — answering 200 and then forgetting
+		// the session on the next crash would be a silent lie. The error
+		// counts against the shard breaker like any other server fault.
+		if err := s.persist.append(rec); err != nil {
+			r = taskResult{err: fmt.Errorf("serve: session state not durable: %w", err)}
+		} else if s.persist.shouldSnapshot() {
+			s.compact()
+		}
+	}
 	var sp *SolverPanic
 	if errors.As(r.err, &sp) {
 		sh.met.panics.Add(1)
@@ -586,17 +859,20 @@ func (s *Server) exec(sh *shard, t *task) {
 // solveTask executes a task against its session's warm solver (or the
 // package-level pooled solvers for one-shots). The wire result is
 // extracted while the session lock is held, so a same-session re-solve
-// can never rebuild the solver storage under the extraction.
-func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolved bool, err error) {
+// can never rebuild the solver storage under the extraction. Successful
+// session solves also return the session's durable-state capture (nil
+// with persistence off); the caller journals it after the lock is gone.
+func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolved bool, rec *scenario.SnapshotRecord, err error) {
 	var to *core.Timeouts
 	if t.kind == taskSolve && t.objective == scenario.ObjectiveRandom {
 		to, err = s.tcache.OptimalTimeouts(t.net, t.toOpts)
 		if err != nil {
-			return scenario.SolveResult{}, false, err
+			return scenario.SolveResult{}, false, nil, err
 		}
 	}
 	if t.sess == nil {
-		return oneShot(t, to)
+		res, resolved, err = oneShot(t, to)
+		return res, resolved, nil, err
 	}
 	se := t.sess
 	se.mu.Lock()
@@ -612,25 +888,25 @@ func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolv
 		if p := recover(); p != nil {
 			se.sh.pool.QuarantineSession(se.id)
 			se.adaptor = nil
-			res, resolved = scenario.SolveResult{}, false
+			res, resolved, rec = scenario.SolveResult{}, false, nil
 			err = &SolverPanic{Session: se.id, Value: p, Stack: debug.Stack()}
 		}
 	}()
 	if se.dropped {
-		return scenario.SolveResult{}, false, errDropped
+		return scenario.SolveResult{}, false, nil, errDropped
 	}
 
 	if t.kind == taskPoll {
 		if se.adaptor == nil {
-			return scenario.SolveResult{}, false, fmt.Errorf("serve: session %q has no estimator feed", se.id)
+			return scenario.SolveResult{}, false, nil, fmt.Errorf("serve: session %q has no estimator feed", se.id)
 		}
 		sol, resolved, err := se.adaptor.Solution()
 		if err != nil {
-			return scenario.SolveResult{}, false, err
+			return scenario.SolveResult{}, false, nil, err
 		}
 		res := scenario.NewSolveResult(sol, nil)
 		se.lastGood = &res
-		return res, resolved, nil
+		return res, resolved, s.captureLocked(se), nil
 	}
 
 	if t.estimator {
@@ -640,19 +916,22 @@ func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolv
 		// per the §VIII-A bootstrap (0% loss until observations arrive).
 		ad, err := estimate.NewAdaptor(t.net)
 		if err != nil {
-			return scenario.SolveResult{}, false, err
+			return scenario.SolveResult{}, false, nil, err
 		}
 		if s.cfg.EstimatorRelTol > 0 {
 			ad.RelTol = s.cfg.EstimatorRelTol
 		}
 		sol, _, err := ad.Solution()
 		if err != nil {
-			return scenario.SolveResult{}, false, err
+			return scenario.SolveResult{}, false, nil, err
 		}
 		se.adaptor = ad
 		res := scenario.NewSolveResult(sol, nil)
 		se.lastGood = &res
-		return res, true, nil
+		if t.wire != nil {
+			se.binding = t.wire
+		}
+		return res, true, s.captureLocked(se), nil
 	}
 	// An explicit plain solve supersedes any estimator feed: the client
 	// has switched to driving re-solves itself.
@@ -668,11 +947,14 @@ func (s *Server) solveTask(sh *shard, t *task) (res scenario.SolveResult, resolv
 		sol, err = se.sh.pool.SolveSession(se.id, t.net)
 	}
 	if err != nil {
-		return scenario.SolveResult{}, false, err
+		return scenario.SolveResult{}, false, nil, err
 	}
 	out := scenario.NewSolveResult(sol, to)
 	se.lastGood = &out
-	return out, true, nil
+	if t.wire != nil {
+		se.binding = t.wire
+	}
+	return out, true, s.captureLocked(se), nil
 }
 
 // oneShot solves a session-less task on the package-level pooled

@@ -101,7 +101,10 @@ func solveOK(t *testing.T, base string, req scenario.SolveRequest) scenario.Solv
 
 func newTestServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -459,7 +462,10 @@ func TestSolveStatus(t *testing.T) {
 // past a handler's closed check still fails with errClosed once Close
 // has run, rather than parking a task no worker will ever execute.
 func TestEnqueueAfterClose(t *testing.T) {
-	srv := New(Config{Shards: 1})
+	srv, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	srv.Close()
 	tk := &task{done: make(chan taskResult, 1)}
 	if err := srv.enqueue(srv.shards[0], tk); err != errClosed {
@@ -471,7 +477,10 @@ func TestEnqueueAfterClose(t *testing.T) {
 // request admitted before Close still gets its solution, and requests
 // after Close get 503.
 func TestServeGracefulShutdown(t *testing.T) {
-	srv := New(Config{Shards: 1, BatchWindow: 200 * time.Millisecond, MaxBatch: 64})
+	srv, err := New(Config{Shards: 1, BatchWindow: 200 * time.Millisecond, MaxBatch: 64})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	rng := rand.New(rand.NewPCG(5, 5))
