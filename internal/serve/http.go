@@ -282,7 +282,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
-	s.DropSession(r.PathValue("id"))
+	// Durability before acknowledgement, same as solves: a drop whose
+	// journal append failed answers 500 (the breaker fault is counted in
+	// DropSession), and the client retries until the 204 means it.
+	if err := s.DropSession(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -27,6 +27,14 @@
 // treats file writes and fsync as blocking operations, so holding a
 // guarded lock across journal IO is machine-checked away. State is
 // captured in memory under the session lock, appended after release.
+// Compaction additionally holds mu from before the first session
+// capture through the journal truncate (snapshotNow): appends serialize
+// on the same mutex, so every record the truncate discards was appended
+// — and its session mutated — before the captures began, and the
+// snapshot therefore holds that state or newer. Without that barrier an
+// append could land (fsync'd, acknowledged) between its session's
+// capture and the truncate, and a crash would restore the stale
+// capture.
 package serve
 
 import (
@@ -322,9 +330,20 @@ func (p *persister) shouldSnapshot() bool {
 // snapshot + full journal, or the new snapshot + a stale journal whose
 // lower-Seq records lose at replay. Either way, no acknowledged state
 // is lost.
+//
+// Callers that captured recs from live sessions must use
+// writeSnapshotLocked with mu already held across the capture (see the
+// package comment's compaction barrier); this entry is for callers
+// whose recs cannot be raced by concurrent appends (tests, offline
+// tooling).
 func (p *persister) writeSnapshot(recs []*scenario.SnapshotRecord) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.writeSnapshotLocked(recs)
+}
+
+// writeSnapshotLocked is writeSnapshot's body; the caller holds p.mu.
+func (p *persister) writeSnapshotLocked(recs []*scenario.SnapshotRecord) error {
 	if p.closed {
 		return fmt.Errorf("serve: journal closed")
 	}

@@ -13,6 +13,7 @@ import (
 	"reflect"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -197,9 +198,14 @@ func TestCrashRestartFleet(t *testing.T) {
 		fault.Deactivate()
 
 		// Settle fault-free so every plain session's binding is
-		// journaled, then verify compaction ran this cycle.
+		// journaled, then verify compaction ran this cycle. Compaction is
+		// asynchronous — the request that crosses the threshold does not
+		// wait for it — so give the goroutine a beat to land.
 		for i := range plainWires {
 			solveOK(t, ts.URL, scenario.SolveRequest{Solve: scenario.Solve{Network: plainWires[i]}, SessionID: plainID(i)})
+		}
+		for deadline := time.Now().Add(5 * time.Second); srv.persist.snapshots.Load() == 0 && time.Now().Before(deadline); {
+			time.Sleep(time.Millisecond)
 		}
 		if srv.persist.snapshots.Load() == 0 {
 			t.Errorf("cycle %d: no compacting snapshot ran (journal %d bytes, threshold %d)",
@@ -335,5 +341,133 @@ func TestCrashRestartFleet(t *testing.T) {
 		if got, want := se.adaptor.State(), e.ref.State(); !reflect.DeepEqual(got, want) {
 			t.Fatalf("graceful restart diverged for %s\n got %+v\nwant %+v", e.id, got, want)
 		}
+	}
+}
+
+// TestDropDurability: a drop whose journal append fails must answer 500
+// — never a 204 the disk cannot back — keep failing honestly on retry
+// while the fault persists (the session must not fall through the
+// unknown-ID no-op into a false 204), and become durable once a retry
+// succeeds: after a crash the session stays gone.
+func TestDropDurability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, BatchWindow: -1, StateDir: dir}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewPCG(3, 9))
+	wire := testNetwork(rng, 3)
+	solveOK(t, ts.URL, scenario.SolveRequest{Solve: scenario.Solve{Network: wire}, SessionID: "doomed"})
+
+	del := func() int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/doomed", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	fault.Activate(&fault.Plan{Seed: 1, Points: map[string][]fault.Spec{
+		"persist.write": {{Kind: fault.Error, Prob: 1}},
+	}})
+	if status := del(); status != http.StatusInternalServerError {
+		t.Fatalf("drop with failing journal: status %d, want 500", status)
+	}
+	// The drop took effect in memory — solves answer 410 Gone — but the
+	// acknowledgement is withheld until the record is on disk.
+	status, _ := postJSON(t, ts.URL+"/v1/solve", scenario.SolveRequest{Solve: scenario.Solve{Network: wire}, SessionID: "doomed"})
+	if status != http.StatusGone {
+		t.Fatalf("solve on pending-drop session: status %d, want 410", status)
+	}
+	if status := del(); status != http.StatusInternalServerError {
+		t.Fatalf("retried drop with failing journal: status %d, want 500", status)
+	}
+	fault.Deactivate()
+	if status := del(); status != http.StatusNoContent {
+		t.Fatalf("retried drop after fault cleared: status %d, want 204", status)
+	}
+
+	srv.crash()
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	if srv2.lookupSession("doomed") != nil {
+		t.Error("acknowledged drop did not survive the crash")
+	}
+}
+
+// TestSnapshotCompactionKeepsAckedState: compaction must never erase an
+// acknowledged journal record it did not capture. A session is solved
+// sequentially with drifting networks — every 200 means the binding is
+// journaled before the response — while a second goroutine hammers full
+// compacting snapshots; after a hard stop, the restored binding must be
+// the last acknowledged one. Without the persister-mutex barrier around
+// capture+truncate, a snapshot could capture the session, lose the race
+// to a newer acknowledged append, and then truncate that record away.
+func TestSnapshotCompactionKeepsAckedState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, BatchWindow: -1, StateDir: dir}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := srv.snapshotNow(); err != nil {
+				t.Errorf("snapshotNow: %v", err)
+				return
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewPCG(11, 4))
+	wire := testNetwork(rng, 3)
+	for i := 0; i < 40; i++ {
+		wire = driftWire(rng, wire, 0.05)
+		solveOK(t, ts.URL, scenario.SolveRequest{Solve: scenario.Solve{Network: wire}, SessionID: "s"})
+	}
+	stop.Store(true)
+	wg.Wait()
+	srv.crash()
+	ts.Close()
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	se := srv2.lookupSession("s")
+	if se == nil {
+		t.Fatal("session not restored")
+	}
+	se.mu.Lock()
+	got, err := json.Marshal(se.binding.Network)
+	se.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("restored binding is not the last acknowledged solve\n got %s\nwant %s", got, want)
 	}
 }

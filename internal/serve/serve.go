@@ -227,6 +227,12 @@ type session struct {
 	// Nil until the first successful solve. The pointed-to Solve is
 	// never mutated, so snapshot captures may share it.
 	binding *scenario.Solve
+	// dropRec is the session's drop record, built under mu when the
+	// session is dropped and appended after release. It stays set so a
+	// retry of a drop whose append failed re-appends the same record
+	// (same Seq — still the session's highest, since a dropped session
+	// is never captured again) instead of no-op'ing into a false 204.
+	dropRec *scenario.SnapshotRecord
 }
 
 // lastGoodResult returns the session's last good result, or nil.
@@ -434,11 +440,26 @@ func (s *Server) captureLocked(se *session) *scenario.SnapshotRecord {
 }
 
 // snapshotNow captures every live session and writes a full compacting
-// snapshot. Registry and session locks are released before any file IO.
+// snapshot. Registry and session locks are released before any file IO,
+// but the persister mutex is held from before the first capture through
+// the journal truncate: appends serialize on the same mutex, so any
+// record the truncate discards was appended — and its session mutated —
+// strictly before the captures began, which means the snapshot observes
+// that state (or newer, with a higher Seq) and nothing acknowledged is
+// lost. Without the barrier a solve on another shard could journal and
+// acknowledge newer state between its session's capture and the
+// truncate, and a crash would restore the stale capture. Appends (and
+// so acknowledgements) queue behind the snapshot for its duration;
+// that latency is the price of the guarantee. No deadlock: appenders
+// never hold a session or registry lock while taking the persister
+// mutex.
 func (s *Server) snapshotNow() error {
 	if s.persist == nil {
 		return nil
 	}
+	p := s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s.smu.RLock()
 	ses := make([]*session, 0, len(s.sessions))
 	for _, se := range s.sessions {
@@ -457,21 +478,34 @@ func (s *Server) snapshotNow() error {
 			recs = append(recs, rec)
 		}
 	}
-	return s.persist.writeSnapshot(recs)
+	return p.writeSnapshotLocked(recs)
 }
 
-// compact runs one snapshot compaction, singleflight: waves on every
-// shard can cross the journal threshold at once, one of them wins and
-// the rest skip. Failure is logged, not fatal — the journal simply
-// keeps growing until a later compaction succeeds.
+// compact runs one snapshot compaction on its own goroutine, so the
+// request whose append crossed the journal threshold is acknowledged as
+// soon as its own record is durable instead of bearing the whole
+// fleet's capture + snapshot IO inside its deadline budget. Singleflight:
+// waves on every shard can cross the threshold at once, one spawn wins
+// and the rest skip. The goroutine rides s.wg, so Close/crash wait it
+// out before the final snapshot and the journal close; once closed is
+// set it stands down — Close's own snapshotNow compacts. Failure is
+// logged, not fatal — the journal simply keeps growing until a later
+// compaction succeeds.
 func (s *Server) compact() {
 	if !s.persist.snapshotting.CompareAndSwap(false, true) {
 		return
 	}
-	defer s.persist.snapshotting.Store(false)
-	if err := s.snapshotNow(); err != nil {
-		log.Printf("serve: snapshot compaction failed (journal keeps growing): %v", err)
-	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.persist.snapshotting.Store(false)
+		if s.closed.Load() {
+			return
+		}
+		if err := s.snapshotNow(); err != nil {
+			log.Printf("serve: snapshot compaction failed (journal keeps growing): %v", err)
+		}
+	}()
 }
 
 // shardFor hashes a session ID onto its shard. Stable by construction:
@@ -512,38 +546,55 @@ func (s *Server) lookupSession(id string) *session {
 // where a future same-shaped session picks the structural state back
 // up). Unknown IDs are a no-op. Tasks the session still has queued fail
 // with a "session dropped" error.
-func (s *Server) DropSession(id string) {
-	s.smu.Lock()
-	se := s.sessions[id]
-	delete(s.sessions, id)
-	s.smu.Unlock()
+//
+// With persistence on, a drop follows the same durability-before-
+// acknowledgement rule as a solve: the drop record must be journaled
+// before DropSession returns nil. On append failure the error comes
+// back (handleDrop answers 500, counting against the shard breaker) and
+// the session — already dropped in memory, its queued and future tasks
+// failing with errDropped — stays in the registry carrying its pending
+// record, so a client retry re-appends that record instead of falling
+// through the unknown-ID no-op into a false 204. The registry entry
+// goes only once the record is durable (a compaction that ran in
+// between also suffices: it skips dropped sessions, so the truncated
+// journal plus the new snapshot already encode the drop, and the
+// retried append is a harmless stale record).
+func (s *Server) DropSession(id string) error {
+	se := s.lookupSession(id)
 	if se == nil {
-		return
+		return nil
 	}
-	var rec *scenario.SnapshotRecord
 	se.mu.Lock()
-	se.dropped = true
-	se.adaptor = nil
-	if s.persist != nil && se.binding != nil {
-		// Seq is assigned inside the critical section so the drop orders
-		// after any in-flight capture of this session; the append itself
-		// waits for the locks to go.
-		rec = &scenario.SnapshotRecord{
-			Version:   scenario.SnapshotVersion,
-			Seq:       s.stateSeq.Add(1),
-			Kind:      scenario.RecordDrop,
-			SessionID: id,
+	if !se.dropped {
+		se.dropped = true
+		se.adaptor = nil
+		if s.persist != nil && se.binding != nil {
+			// Seq is assigned inside the critical section so the drop orders
+			// after any in-flight capture of this session; the append itself
+			// waits for the locks to go.
+			se.dropRec = &scenario.SnapshotRecord{
+				Version:   scenario.SnapshotVersion,
+				Seq:       s.stateSeq.Add(1),
+				Kind:      scenario.RecordDrop,
+				SessionID: id,
+			}
 		}
 	}
+	rec := se.dropRec
 	se.mu.Unlock()
 	se.sh.pool.DropSession(id)
 	if rec != nil {
 		if err := s.persist.append(rec); err != nil {
-			// The drop already happened in memory; at worst a crash before
-			// the next snapshot resurrects the session as restorable state.
-			log.Printf("serve: journaling drop of session %q: %v", id, err)
+			se.sh.brk.onFault()
+			return fmt.Errorf("serve: session drop not durable: %w", err)
 		}
 	}
+	s.smu.Lock()
+	if s.sessions[id] == se {
+		delete(s.sessions, id)
+	}
+	s.smu.Unlock()
+	return nil
 }
 
 // Sessions returns the live session count.
