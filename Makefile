@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test chaos-smoke chaos-restart fuzz-smoke bench-smoke bench run-dmcd ci
+.PHONY: all build vet lint fmt-check test chaos-smoke chaos-restart chaos-failover fuzz-smoke bench-smoke bench run-dmcd ci
 
 all: build vet lint fmt-check test
 
@@ -53,6 +53,17 @@ RESTART_ITERS ?= 10
 chaos-restart:
 	DMC_RESTART_ITERS=$(RESTART_ITERS) $(GO) test -race -count=1 -run '^TestCrashRestartFleet$$' -v ./internal/serve
 
+# The replication chaos drill: FAILOVER_ITERS kill-9/promote cycles of
+# a loaded primary/standby pair in sync-ack mode under seeded fault
+# storms (internal/serve TestFailoverFleet), each cycle promoting the
+# standby, fencing the dead primary's stale incarnation, and rejoining
+# it as a follower — asserting bit-exact estimator state and zero
+# acked-write loss across every failover. `make test` runs the same
+# test at 2 cycles; this is the long soak.
+FAILOVER_ITERS ?= 10
+chaos-failover:
+	DMC_FAILOVER_ITERS=$(FAILOVER_ITERS) $(GO) test -race -count=1 -run '^TestFailoverFleet$$' -v ./internal/serve
+
 # Ten seconds per seed fuzz target. `go test -fuzz` accepts exactly one
 # target per invocation, so each runs separately.
 FUZZTIME ?= 10s
@@ -92,4 +103,4 @@ DMCD_FLAGS ?= -addr :7117
 run-dmcd:
 	$(GO) run ./cmd/dmcd $(DMCD_FLAGS)
 
-ci: all chaos-smoke chaos-restart fuzz-smoke bench-smoke
+ci: all chaos-smoke chaos-restart chaos-failover fuzz-smoke bench-smoke

@@ -7,6 +7,8 @@
 //
 //	dmcd -addr :7117
 //	dmcd -addr :7117 -shards 4 -batch-window 500us -queue 2048
+//	dmcd -addr :7117 -state-dir /var/lib/dmcd -repl-ack sync
+//	dmcd -addr :7118 -state-dir /var/lib/dmcd-standby -follow http://primary:7117
 //
 // API (JSON bodies; schema in internal/scenario):
 //
@@ -16,6 +18,8 @@
 //	POST   /v1/observe      {"session_id": "s1", "paths": [{"path": 0, "sent": 100,
 //	                         "lost": 3, "rtt_ms": [42.1]}]}
 //	DELETE /v1/session/{id}
+//	GET    /v1/replicate    follower journal stream (persistence only)
+//	POST   /v1/promote      follower-only: promote this standby to primary
 //	GET    /metrics
 //	GET    /healthz
 //
@@ -32,6 +36,16 @@
 // snapshots, and restored at the next boot — even after kill -9, which
 // at worst leaves a torn journal suffix that boot truncates. See the
 // README's "Durability & restart".
+//
+// Replication (see the README's "Replication & failover"): a primary
+// with -state-dir streams its journal to hot standbys started with
+// -follow <primary-url>. -repl-ack sync withholds 2xx until a follower
+// has durably applied the record ("acknowledged means replicated");
+// the default async mode acknowledges on local fsync. A standby is
+// promoted by POST /v1/promote (in place, same process) or by
+// restarting it with -promote; either way the new primary's epoch
+// fences the old one, whose stale incarnation is refused on rejoin and
+// resyncs as a follower via a snapshot reset transfer.
 //
 // Failure containment (see the README's "Failure modes & degradation"):
 // "budget_ms" per request bounds queue wait (504 when it expires,
@@ -53,6 +67,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -67,6 +83,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmcd:", err)
 		os.Exit(1)
 	}
+}
+
+// handlerSwitch is an http.Handler whose target swaps atomically — how
+// an in-place promotion replaces the follower's read-only API with the
+// full primary API without rebinding the listener.
+type handlerSwitch struct{ h atomic.Value }
+
+func (hs *handlerSwitch) set(h http.Handler) { hs.h.Store(h) }
+
+func (hs *handlerSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hs.h.Load().(http.Handler).ServeHTTP(w, r)
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -85,6 +112,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		stateDir    = fs.String("state-dir", "", "session durability dir: snapshot+journal written here, sessions restored at boot (empty = no persistence)")
 		snapBytes   = fs.Int64("snapshot-bytes", 0, "journal size triggering a compacting snapshot (0 = 4MB, negative = only final snapshot)")
 		noSync      = fs.Bool("journal-nosync", false, "skip per-record journal fsync (faster appends, crash may lose the tail)")
+		follow      = fs.String("follow", "", "run as a hot-standby follower replicating from this primary URL (requires -state-dir)")
+		promote     = fs.Bool("promote", false, "boot as the new primary from a follower's state dir, bumping the fencing epoch")
+		replAck     = fs.String("repl-ack", "", `replication acknowledgement mode: "async" (default: acks on local fsync) or "sync" (withholds 2xx until a follower acks)`)
+		replAckTo   = fs.Duration("repl-ack-timeout", 0, "sync mode: how long a write waits for a follower ack before failing (0 = 5s)")
+		replLagWarn = fs.Int64("repl-lag-warn", 0, "follower lag in journal bytes beyond which /healthz degrades (0 = snapshot-bytes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +131,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "dmcd: fault injection ARMED (seed %d) at points %v\n", plan.Seed, fault.Points())
 	}
 
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Shards:           *shards,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
@@ -112,22 +144,122 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		StateDir:         *stateDir,
 		SnapshotBytes:    *snapBytes,
 		JournalNoSync:    *noSync,
-	})
+		ReplAck:          *replAck,
+		ReplAckTimeout:   *replAckTo,
+		ReplLagWarn:      *replLagWarn,
+		Promote:          *promote,
+	}
+
+	if *follow != "" {
+		if *stateDir == "" {
+			return errors.New("-follow requires -state-dir (the follower journals the replicated stream)")
+		}
+		if *promote {
+			return errors.New("-follow and -promote are mutually exclusive: -promote boots a former follower's state dir as the new primary")
+		}
+		return runFollower(ctx, cfg, *follow, *addr, stdout)
+	}
+
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	if *stateDir != "" {
 		fmt.Fprintf(stdout, "dmcd: durability on (%s): restored %d sessions\n", *stateDir, srv.Metrics().Durability.RestoredSessions)
+		fmt.Fprintf(stdout, "dmcd: replication %s (epoch %d)\n", srv.Metrics().Replication.Mode, srv.Epoch())
 	}
+	if *promote {
+		fmt.Fprintf(stdout, "dmcd: PROMOTED to primary at epoch %d; the old primary is fenced\n", srv.Epoch())
+	}
+	return serveHTTP(ctx, *addr, srv.Handler(), stdout, srv.QuiesceReplication, nil)
+}
 
-	ln, err := net.Listen("tcp", *addr)
+// runFollower runs the hot-standby loop: replicate from the primary,
+// serve the degraded read-only API, and promote in place when asked.
+func runFollower(ctx context.Context, cfg serve.Config, primary, addr string, stdout io.Writer) error {
+	sw := &handlerSwitch{}
+	var (
+		pmu      sync.Mutex
+		promoted *serve.Server
+		fol      *serve.Follower
+	)
+	id, _ := os.Hostname()
+	f, err := serve.NewFollower(serve.FollowerConfig{
+		Primary:  primary,
+		StateDir: cfg.StateDir,
+		ID:       id,
+		OnPromote: func() error {
+			pmu.Lock()
+			defer pmu.Unlock()
+			if promoted != nil {
+				return nil // already promoted; the retry is idempotent
+			}
+			srv, err := fol.Promote(cfg)
+			if err != nil {
+				return err
+			}
+			promoted = srv
+			sw.set(srv.Handler())
+			fmt.Fprintf(stdout, "dmcd: PROMOTED to primary at epoch %d; the old primary is fenced\n", srv.Epoch())
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fol = f
+	sw.set(fol.Handler())
+	fmt.Fprintf(stdout, "dmcd: following %s (replicated %d sessions so far)\n", primary, fol.Sessions())
+
+	return serveHTTP(ctx, addr, sw, stdout,
+		func() {
+			// If promotion happened, this process is now a primary with
+			// followers possibly parked in long polls; wake them so the
+			// HTTP drain is not held hostage.
+			pmu.Lock()
+			defer pmu.Unlock()
+			if promoted != nil {
+				promoted.QuiesceReplication()
+			}
+		},
+		func() {
+			// Shut down whichever role the process holds by now. Promotion
+			// holds pmu across the swap, so this cannot observe a half-state.
+			pmu.Lock()
+			defer pmu.Unlock()
+			if promoted != nil {
+				promoted.Close()
+			} else {
+				fol.Close()
+			}
+		})
+}
+
+// serveHTTP binds addr and serves handler until ctx is canceled, then
+// shuts down gracefully: run quiesce (waking replication long-polls
+// that would stall the drain), stop accepting, drain in-flight HTTP,
+// then run closeFn (which drains the solver/replication side).
+//
+// The timeouts harden the listener against slow clients (slowloris
+// headers, stalled bodies, dead keep-alives). The replication long poll
+// legitimately outlives ReadTimeout/WriteTimeout; its handler lifts
+// both per-request via http.ResponseController rather than this server
+// going unbounded for everyone.
+func serveHTTP(ctx context.Context, addr string, handler http.Handler, stdout io.Writer, quiesce, closeFn func()) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "dmcd: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -140,6 +272,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// Stop accepting, let in-flight HTTP requests finish, then drain the
 	// solver waves.
 	fmt.Fprintln(stdout, "dmcd: shutting down")
+	if quiesce != nil {
+		quiesce()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -147,6 +282,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if closeFn != nil {
+		closeFn()
 	}
 	return nil
 }

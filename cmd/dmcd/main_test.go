@@ -183,4 +183,144 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, &out); err == nil {
 		t.Error("unlistenable address accepted")
 	}
+	if err := run(context.Background(), []string{"-follow", "http://x"}, &out); err == nil || !strings.Contains(err.Error(), "-state-dir") {
+		t.Errorf("-follow without -state-dir accepted (err: %v)", err)
+	}
+	if err := run(context.Background(), []string{"-follow", "http://x", "-state-dir", t.TempDir(), "-promote"}, &out); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-follow with -promote accepted (err: %v)", err)
+	}
+	if err := run(context.Background(), []string{"-repl-ack", "bogus", "-state-dir", t.TempDir()}, &out); err == nil {
+		t.Error("bogus -repl-ack accepted")
+	}
+}
+
+// TestRunFailover is the operator-facing failover drill: a primary and
+// a -follow standby as two in-process daemons, a session replicated
+// across, promotion via the admin endpoint swapping the standby to the
+// full primary API in place, and the promoted daemon owning writes.
+func TestRunFailover(t *testing.T) {
+	primDir, folDir := t.TempDir(), t.TempDir()
+
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	var pout syncBuffer
+	pbase, pdone := bootDaemon(t, pctx, &pout, "-state-dir", primDir)
+
+	const estSolve = `{"network": {
+		"rate_mbps": 90, "lifetime_ms": 800,
+		"paths": [
+			{"name": "path1", "bandwidth_mbps": 80, "delay_ms": 450, "loss": 0.2},
+			{"name": "path2", "bandwidth_mbps": 20, "delay_ms": 150}
+		]
+	}, "session_id": "durable", "estimator": true}`
+	resp, err := http.Post(pbase+"/v1/solve", "application/json", strings.NewReader(estSolve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/solve status %d", resp.StatusCode)
+	}
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	var fout syncBuffer
+	fbase, fdone := bootDaemon(t, fctx, &fout, "-state-dir", folDir, "-follow", pbase)
+	if !strings.Contains(fout.String(), "dmcd: following "+pbase) {
+		t.Errorf("missing follower boot line; output: %q", fout.String())
+	}
+
+	// The standby serves the replicated session degraded once the stream
+	// delivers it (its first poll takes a snapshot reset transfer).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(fbase+"/v1/solve", "application/json", strings.NewReader(estSolve))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if !strings.Contains(body.String(), `"degraded":true`) {
+				t.Fatalf("standby answer not marked degraded: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never replicated the session; last status %d: %s", resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And it refuses writes while a standby.
+	resp, err = http.Post(fbase+"/v1/observe", "application/json",
+		strings.NewReader(`{"session_id": "durable", "paths": [{"path": 0, "sent": 10, "lost": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby observe: status %d, want 503", resp.StatusCode)
+	}
+
+	// The primary dies; the admin endpoint promotes the standby in
+	// place — same process, same listener, now the full primary API.
+	pcancel()
+	if err := <-pdone; err != nil {
+		t.Fatalf("primary run failed on shutdown: %v", err)
+	}
+	resp, err = http.Post(fbase+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/promote status %d", resp.StatusCode)
+	}
+	if !strings.Contains(fout.String(), "dmcd: PROMOTED to primary at epoch") {
+		t.Errorf("missing promotion log line; output: %q", fout.String())
+	}
+
+	// Writes now land on the promoted daemon.
+	resp, err = http.Post(fbase+"/v1/observe", "application/json",
+		strings.NewReader(`{"session_id": "durable", "paths": [{"path": 0, "sent": 10, "lost": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe after promotion: status %d: %s", resp.StatusCode, body)
+	}
+
+	fcancel()
+	if err := <-fdone; err != nil {
+		t.Fatalf("promoted run failed on shutdown: %v", err)
+	}
+}
+
+// TestRunPromoteFlag: -promote boots a follower's state dir as the new
+// primary, announcing the bumped epoch.
+func TestRunPromoteFlag(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	_, done := bootDaemon(t, ctx, &out, "-state-dir", dir)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run failed on shutdown: %v", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var out2 syncBuffer
+	_, done2 := bootDaemon(t, ctx2, &out2, "-state-dir", dir, "-promote")
+	if !strings.Contains(out2.String(), "dmcd: PROMOTED to primary at epoch 1") {
+		t.Errorf("missing promotion boot line; output: %q", out2.String())
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("promoted run failed on shutdown: %v", err)
+	}
 }

@@ -4,6 +4,7 @@
 package serve
 
 import (
+	"net/http"
 	"os"
 	"sync"
 
@@ -47,6 +48,35 @@ func (se *session) badSlotRename() {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	_ = os.Rename("a", "b") // want `os.Rename call while session-slot mutex serve.session.mu is held`
+}
+
+// badReplicateUnderRegistry: replication sends are network IO — a
+// chunk streamed to a follower while the registry mutex is held stalls
+// every solve on the shard behind the follower's link.
+func (s *Server) badReplicateUnderRegistry(c *http.Client, r *http.Request) {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	_, _ = c.Do(r) // want `\(\*net/http\.Client\)\.Do call while registry mutex serve\.Server\.smu is held`
+}
+
+// badApplyUnderSlot: the follower's apply path folds records under the
+// session tier; polling the primary from inside that region would wedge
+// the session behind the network.
+func (se *session) badApplyUnderSlot(c *http.Client, r *http.Request) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	_, _ = c.Do(r) // want `\(\*net/http\.Client\)\.Do call while session-slot mutex serve\.session\.mu is held`
+}
+
+// goodCaptureThenSend: the replication sender's required shape — read
+// the journal chunk under the lock, hit the network after release.
+func (s *Server) goodCaptureThenSend(c *http.Client, r *http.Request) {
+	s.smu.RLock()
+	n := cap(s.queue)
+	s.smu.RUnlock()
+	if n > 0 {
+		_, _ = c.Do(r)
+	}
 }
 
 // goodCaptureThenWrite: capture state under the lock, write after

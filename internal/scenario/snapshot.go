@@ -15,7 +15,12 @@ import (
 // SnapshotVersion is the snapshot/journal record schema version this
 // build reads and writes. Records from a newer schema are rejected with
 // a clear error at replay — never mis-parsed into an older shape.
-const SnapshotVersion = 1
+//
+// v2 added Epoch, the replicated-failover fencing term: every record
+// carries the epoch of the primary that wrote it, and a promotion bumps
+// the epoch so a partitioned stale primary's stream is rejected instead
+// of silently merged. v1 records load as epoch 0.
+const SnapshotVersion = 2
 
 // Snapshot record kinds.
 const (
@@ -70,8 +75,14 @@ type SnapshotRecord struct {
 	// Seq orders records globally: replay keeps the highest-Seq record
 	// per session, which makes re-applying a journal after a partially
 	// compacted snapshot idempotent.
-	Seq  uint64 `json:"seq"`
-	Kind string `json:"kind"`
+	Seq uint64 `json:"seq"`
+	// Epoch (v2) is the fencing term of replicated failover: the writing
+	// primary's election epoch. A follower promotion bumps the epoch, so
+	// a stale primary's post-partition records are identifiable — and
+	// rejectable — by every replica that saw the newer epoch. v1 records
+	// (and single-node deployments) carry epoch 0.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Kind  string `json:"kind"`
 	// Session is the payload of a RecordSession record.
 	Session *SessionState `json:"session,omitempty"`
 	// SessionID is the payload of a RecordDrop record.

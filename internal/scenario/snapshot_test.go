@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -106,20 +107,20 @@ func TestSnapshotRecordValidateErrors(t *testing.T) {
 // mis-parsed into the old shape or bounced with a confusing
 // unknown-field error.
 func TestSnapshotFutureVersionRejected(t *testing.T) {
-	future := `{"v": 2, "seq": 9, "kind": "session", "shard_affinity": "warm-7",
-		"session": {"id": "s", "epoch": 4}}`
+	future := `{"v": 3, "seq": 9, "kind": "session", "shard_affinity": "warm-7",
+		"session": {"id": "s", "quorum": 4}}`
 	v, err := SnapshotRecordVersion([]byte(future))
 	if err != nil {
 		t.Fatalf("version peek must tolerate unknown fields: %v", err)
 	}
-	if v != 2 {
-		t.Fatalf("peeked version %d, want 2", v)
+	if v != 3 {
+		t.Fatalf("peeked version %d, want 3", v)
 	}
 	err = CheckSnapshotVersion(v)
 	if err == nil {
 		t.Fatal("future version accepted")
 	}
-	for _, want := range []string{"v2", "newer"} {
+	for _, want := range []string{"v3", "newer"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("rejection %q should mention %q", err, want)
 		}
@@ -131,5 +132,60 @@ func TestSnapshotFutureVersionRejected(t *testing.T) {
 	}
 	if _, err := SnapshotRecordVersion([]byte("\x00\x01garbage")); err == nil {
 		t.Error("non-JSON record accepted by version peek")
+	}
+}
+
+// TestSnapshotV1RecordStillLoads is the backward half of the schema
+// contract: v1 records (written before the replication epoch existed)
+// must keep loading — parsing to epoch 0 and validating clean — because
+// an in-place upgrade replays the previous build's journal.
+func TestSnapshotV1RecordStillLoads(t *testing.T) {
+	if err := CheckSnapshotVersion(1); err != nil {
+		t.Fatalf("v1 rejected by version check: %v", err)
+	}
+	r := validRecord(t)
+	r.Version = 1
+	r.Epoch = 0
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "epoch") {
+		t.Errorf("epoch 0 must marshal away (omitempty), so v1-compatible records stay byte-stable: %s", data)
+	}
+	var back SnapshotRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("v1 record did not parse: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("v1 record did not validate: %v", err)
+	}
+	if back.Epoch != 0 {
+		t.Errorf("v1 record loaded with epoch %d, want 0", back.Epoch)
+	}
+}
+
+// TestSnapshotEpochRoundTrip: the v2 fencing term must survive the wire
+// exactly — a promotion's epoch bump is only as durable as this field.
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	r := validRecord(t)
+	r.Epoch = 7
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SnapshotRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("epoch-carrying record did not validate: %v", err)
+	}
+	if back.Epoch != 7 {
+		t.Errorf("epoch %d after round trip, want 7", back.Epoch)
+	}
+	drop := &SnapshotRecord{Version: SnapshotVersion, Seq: 9, Epoch: 7, Kind: RecordDrop, SessionID: "sess-1"}
+	if err := drop.Validate(); err != nil {
+		t.Fatalf("epoch-carrying drop record rejected: %v", err)
 	}
 }

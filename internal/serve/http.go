@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"dmc/internal/core"
@@ -21,6 +22,7 @@ const maxBodyBytes = 1 << 20
 //	POST   /v1/solve        solve (one-shot, session-keyed, or estimator)
 //	POST   /v1/observe      feed estimator measurements, re-solve on drift
 //	DELETE /v1/session/{id} drop a session
+//	GET    /v1/replicate    follower journal stream (persistence only)
 //	GET    /metrics         per-shard metrics snapshot
 //	GET    /healthz         liveness
 func (s *Server) Handler() http.Handler {
@@ -30,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDrop)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.persist != nil {
+		mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
+	}
 	return mux
 }
 
@@ -317,6 +322,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["status"] = "unhealthy: every shard breaker open"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
+	}
+	// Durability trouble degrades (200, but the status says so — load
+	// balancers keep routing, operators get paged): failed journal
+	// appends mean writes are being refused, and replication lag past
+	// the threshold means a failover now would lose that much
+	// acknowledged state in async mode.
+	var trouble []string
+	if p := s.persist; p != nil {
+		if n := p.journalErrors.Load(); n > 0 {
+			trouble = append(trouble, fmt.Sprintf("%d journal errors", n))
+		}
+		trouble = append(trouble, s.repl.replHealth()...)
+	}
+	if len(trouble) > 0 {
+		body["status"] = "degraded: " + strings.Join(trouble, "; ")
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -202,13 +202,48 @@ type DurabilityMetrics struct {
 	TruncatedBytes int64 `json:"truncated_bytes"`
 }
 
+// ReplFollowerMetrics is one follower's row in the primary's
+// replication section.
+type ReplFollowerMetrics struct {
+	ID string `json:"id"`
+	// LagBytes/LagRecords is how far behind the journal tail the
+	// follower's durable cursor is. With Resync set the cursor is from
+	// an older journal incarnation (its next poll takes a snapshot reset
+	// transfer) and the whole current journal counts as lag.
+	LagBytes   int64 `json:"lag_bytes"`
+	LagRecords int64 `json:"lag_records"`
+	Resync     bool  `json:"resync,omitempty"`
+	// Epoch is the fencing epoch the follower last announced.
+	Epoch uint64 `json:"epoch"`
+	// LastSeenMs is how long ago the follower last polled.
+	LastSeenMs float64 `json:"last_seen_ms"`
+}
+
+// ReplicationMetrics is the primary's replication section of /metrics.
+type ReplicationMetrics struct {
+	// Mode is the acknowledgement mode ("async" or "sync"); Epoch this
+	// primary's fencing term.
+	Mode      string                `json:"mode"`
+	Epoch     uint64                `json:"epoch"`
+	Followers []ReplFollowerMetrics `json:"followers"`
+	// ChunksServed/ResetsServed count replication responses by kind;
+	// SyncTimeouts counts sync-mode writes failed for want of a follower
+	// ack; FencedPolls counts polls rejected for carrying a newer epoch
+	// than this primary's (evidence this primary is a stale survivor).
+	ChunksServed uint64 `json:"chunks_served"`
+	ResetsServed uint64 `json:"resets_served"`
+	SyncTimeouts uint64 `json:"sync_timeouts"`
+	FencedPolls  uint64 `json:"fenced_polls"`
+}
+
 // Metrics is the full /metrics document.
 type Metrics struct {
 	UptimeSec float64 `json:"uptime_sec"`
 	// Sessions is the total live session count across shards.
-	Sessions   int                `json:"sessions"`
-	Shards     []ShardMetrics     `json:"shards"`
-	Durability *DurabilityMetrics `json:"durability,omitempty"`
+	Sessions    int                 `json:"sessions"`
+	Shards      []ShardMetrics      `json:"shards"`
+	Durability  *DurabilityMetrics  `json:"durability,omitempty"`
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
 }
 
 // Metrics snapshots every shard's counters.
@@ -254,6 +289,15 @@ func (s *Server) Metrics() Metrics {
 			JournalRecords:   p.journalRecords.Load(),
 			JournalErrors:    p.journalErrors.Load(),
 			TruncatedBytes:   p.truncatedBytes.Load(),
+		}
+		out.Replication = &ReplicationMetrics{
+			Mode:         s.cfg.ReplAck,
+			Epoch:        s.epoch,
+			Followers:    s.repl.lagSnapshot(),
+			ChunksServed: s.repl.chunksServed.Load(),
+			ResetsServed: s.repl.resetsServed.Load(),
+			SyncTimeouts: s.repl.syncTimeouts.Load(),
+			FencedPolls:  s.repl.fencedPolls.Load(),
 		}
 	}
 	return out

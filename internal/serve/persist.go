@@ -49,6 +49,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmc/internal/fault"
 	"dmc/internal/scenario"
@@ -79,7 +80,29 @@ const (
 	// defaultSnapshotBytes is the journal size that triggers a
 	// compacting snapshot when Config.SnapshotBytes is zero.
 	defaultSnapshotBytes = 4 << 20
+
+	// maxReplChunk caps one replication read, so a follower far behind
+	// catches up in bounded responses instead of one unbounded body.
+	maxReplChunk = 1 << 20
 )
+
+// replPos addresses a point in the replicated journal stream: the
+// journal incarnation (gen changes whenever the journal is reset — a
+// compaction, a reset transfer, or a fresh boot) and the byte offset
+// within it. Offsets are only comparable within a gen; gens are
+// strictly increasing across resets and boots, so "newer" is
+// well-defined: (g2, o2) is at or past (g1, o1) iff g2 > g1, or
+// g2 == g1 and o2 >= o1 — a higher gen's journal starts from a snapshot
+// that already compacts everything any lower gen held.
+type replPos struct {
+	gen uint64
+	off int64
+}
+
+// atOrPast reports whether p has durably reached q.
+func (p replPos) atOrPast(q replPos) bool {
+	return p.gen > q.gen || (p.gen == q.gen && p.off >= q.off)
+}
 
 // persister owns the state dir: the open journal, the append path, and
 // snapshot compaction. Safe for concurrent use; all IO serializes on mu.
@@ -90,7 +113,26 @@ type persister struct {
 
 	mu      sync.Mutex
 	journal *os.File
-	closed  bool
+	// jread is a read-only handle on the same journal inode, for
+	// replication reads (the journal is truncated in place, never
+	// renamed, so the handle stays valid across compactions).
+	jread  *os.File
+	closed bool
+	// gen is the journal incarnation (see replPos): seeded from the
+	// clock at open and bumped monotonically on every journal reset, so
+	// a replication cursor from an older incarnation — or an older boot
+	// — can never alias a valid offset in the current one.
+	gen uint64
+	// genRecords counts records in the current journal incarnation (the
+	// record-granularity twin of journalBytes, for lag metrics).
+	genRecords int64
+	// notify is closed (and cleared) whenever the journal changes —
+	// an append or a reset — waking replication long-polls. Lazily
+	// re-created by waitCh.
+	notify chan struct{}
+	// replayedJournalRecords counts journal records seen at boot replay
+	// (openPersister folds it into genRecords once).
+	replayedJournalRecords int64
 
 	// Metrics, readable without mu.
 	journalBytes   atomic.Int64
@@ -100,19 +142,28 @@ type persister struct {
 	truncatedBytes atomic.Int64
 	snapshotting   atomic.Bool
 	maxSeq         atomic.Uint64
+	// maxEpoch is the highest fencing epoch seen across replayed and
+	// appended records; promotion boots at maxEpoch+1.
+	maxEpoch atomic.Uint64
 }
 
 // openPersister opens (creating if needed) the state dir, replays
 // snapshot + journal, and returns the persister plus the restored
-// session records keyed by session ID (drop records already applied).
-func openPersister(dir string, snapshotBytes int64, noSync bool) (*persister, map[string]*scenario.SessionState, error) {
+// session records keyed by session ID (drop records already applied)
+// and the winning-Seq shadow map (streaming followers keep folding
+// records into both).
+func openPersister(dir string, snapshotBytes int64, noSync bool) (*persister, map[string]*scenario.SessionState, seqShadow, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("serve: state dir: %w", err)
+		return nil, nil, nil, fmt.Errorf("serve: state dir: %w", err)
 	}
 	if snapshotBytes == 0 {
 		snapshotBytes = defaultSnapshotBytes
 	}
 	p := &persister{dir: dir, snapshotBytes: snapshotBytes, noSync: noSync}
+	// The boot gen must exceed every gen this state dir ever announced
+	// to a follower; wall-clock nanoseconds dominate any plausible
+	// bump count (resetLocked also takes max(gen+1, now)).
+	p.gen = uint64(time.Now().UnixNano())
 
 	state := make(map[string]*scenario.SessionState)
 	shadow := make(seqShadow)
@@ -121,24 +172,31 @@ func openPersister(dir string, snapshotBytes int64, noSync bool) (*persister, ma
 	// or an operator mistake — refuse boot rather than serve a silently
 	// truncated fleet.
 	if err := p.replayFile(filepath.Join(dir, snapshotFile), state, shadow, false); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Then the journal, tolerating (and truncating) a torn suffix: the
 	// process can die mid-append, and everything before the tear was
 	// acknowledged durable.
 	if err := p.replayFile(filepath.Join(dir, journalFile), state, shadow, true); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	j, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
 	if fi, err := j.Stat(); err == nil {
 		p.journalBytes.Store(fi.Size())
 	}
+	p.genRecords = p.replayedJournalRecords
 	p.journal = j
-	return p, state, nil
+	r, err := os.Open(filepath.Join(dir, journalFile))
+	if err != nil {
+		j.Close()
+		return nil, nil, nil, fmt.Errorf("serve: opening journal for replication reads: %w", err)
+	}
+	p.jread = r
+	return p, state, shadow, nil
 }
 
 // replayFile folds one record file into state. With truncateOnCorrupt,
@@ -228,6 +286,12 @@ func (p *persister) replayFile(path string, state map[string]*scenario.SessionSt
 		if rec.Seq > p.maxSeq.Load() {
 			p.maxSeq.Store(rec.Seq)
 		}
+		if rec.Epoch > p.maxEpoch.Load() {
+			p.maxEpoch.Store(rec.Epoch)
+		}
+		if truncateOnCorrupt {
+			p.replayedJournalRecords++
+		}
 		off += frameHeaderLen + int64(size)
 	}
 }
@@ -277,34 +341,280 @@ func frame(rec *scenario.SnapshotRecord) ([]byte, error) {
 // configured off), before the caller acknowledges the request the
 // record describes. An error means the record may not survive a crash —
 // the caller must fail the request rather than acknowledge state the
-// journal does not hold.
-func (p *persister) append(rec *scenario.SnapshotRecord) error {
+// journal does not hold. On success it returns the stream position just
+// past the record, the address a replication follower must durably
+// reach before a sync-mode acknowledgement.
+func (p *persister) append(rec *scenario.SnapshotRecord) (replPos, error) {
 	data, err := frame(rec)
 	if err != nil {
-		return err
+		return replPos{}, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return replPos{}, fmt.Errorf("serve: journal closed")
+	}
+	if err := fpPersistWrite.Hit(); err != nil {
+		p.journalErrors.Add(1)
+		return replPos{}, fmt.Errorf("serve: journal write: %w", err)
+	}
+	if _, err := p.journal.Write(data); err != nil {
+		p.journalErrors.Add(1)
+		return replPos{}, fmt.Errorf("serve: journal write: %w", err)
+	}
+	if !p.noSync {
+		if err := p.fsyncJournalLocked(); err != nil {
+			p.journalErrors.Add(1)
+			return replPos{}, err
+		}
+	}
+	end := p.journalBytes.Add(int64(len(data)))
+	p.journalRecords.Add(1)
+	p.genRecords++
+	if rec.Epoch > p.maxEpoch.Load() {
+		p.maxEpoch.Store(rec.Epoch)
+	}
+	p.notifyLocked()
+	return replPos{gen: p.gen, off: end}, nil
+}
+
+// notifyLocked wakes every replication long-poll waiting for journal
+// change; the caller holds p.mu.
+func (p *persister) notifyLocked() {
+	if p.notify != nil {
+		close(p.notify)
+		p.notify = nil
+	}
+}
+
+// waitCh returns a channel that closes on the next journal change
+// (append, reset, or close). Grab it BEFORE checking the cursor you
+// intend to wait past, or the change can slip between check and wait.
+func (p *persister) waitCh() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		// Already closed: hand back a closed channel so waiters never
+		// hang on a journal that will not change again.
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	if p.notify == nil {
+		p.notify = make(chan struct{})
+	}
+	return p.notify
+}
+
+// cursor returns the journal stream's current tail position.
+func (p *persister) cursor() replPos {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return replPos{gen: p.gen, off: p.journalBytes.Load()}
+}
+
+// alignFrames walks data from the start and returns the prefix length
+// covering only whole frames, plus the frame count. Replication chunks
+// must never split a frame: the follower appends chunks verbatim to its
+// own journal, and a split frame there is indistinguishable from a torn
+// write.
+func alignFrames(data []byte) (n int, recs int) {
+	for n+frameHeaderLen <= len(data) {
+		size := int(binary.LittleEndian.Uint32(data[n : n+4]))
+		if n+frameHeaderLen+size > len(data) {
+			break
+		}
+		n += frameHeaderLen + size
+		recs++
+	}
+	return n, recs
+}
+
+// readJournal reads replication data from pos: a chunk of whole frames
+// starting at pos.off in the current journal. reset=true means pos is
+// not addressable in the current incarnation (older gen, or an offset
+// past the tail — a diverged or corrupted follower) and the follower
+// needs a full snapshot transfer instead. An empty chunk with
+// reset=false means the follower is caught up. File IO runs under p.mu
+// — the persister's own mutex, whose purpose is serializing exactly
+// this — so a compaction can never truncate the journal mid-read.
+func (p *persister) readJournal(pos replPos) (data []byte, next replPos, recs int, reset bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, replPos{}, 0, false, fmt.Errorf("serve: journal closed")
+	}
+	size := p.journalBytes.Load()
+	if pos.gen != p.gen || pos.off < 0 || pos.off > size {
+		return nil, replPos{}, 0, true, nil
+	}
+	span := size - pos.off
+	if span == 0 {
+		return nil, pos, 0, false, nil
+	}
+	if span > maxReplChunk {
+		span = maxReplChunk
+	}
+	buf := make([]byte, span)
+	if _, err := p.jread.ReadAt(buf, pos.off); err != nil {
+		return nil, replPos{}, 0, false, fmt.Errorf("serve: replication read: %w", err)
+	}
+	n, recs := alignFrames(buf)
+	if n == 0 {
+		// A chunk boundary inside the first frame: the frame is larger
+		// than the chunk cap. Session records are KBs; a frame beyond
+		// maxReplChunk means local corruption, not load.
+		return nil, replPos{}, 0, false, fmt.Errorf("serve: replication read at %d: frame exceeds %d byte chunk cap", pos.off, maxReplChunk)
+	}
+	return buf[:n], replPos{gen: p.gen, off: pos.off + int64(n)}, recs, false, nil
+}
+
+// readForReset reads the full snapshot + journal for a follower reset
+// transfer, atomically with respect to appends and compactions (p.mu).
+// recs is the journal's record count, the follower's starting
+// genRecords after applying the transfer.
+func (p *persister) readForReset() (snap, jour []byte, pos replPos, recs int64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, nil, replPos{}, 0, fmt.Errorf("serve: journal closed")
+	}
+	snap, err = os.ReadFile(filepath.Join(p.dir, snapshotFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, replPos{}, 0, fmt.Errorf("serve: reading snapshot for transfer: %w", err)
+	}
+	size := p.journalBytes.Load()
+	jour = make([]byte, size)
+	if size > 0 {
+		if _, err := p.jread.ReadAt(jour, 0); err != nil {
+			return nil, nil, replPos{}, 0, fmt.Errorf("serve: reading journal for transfer: %w", err)
+		}
+	}
+	return snap, jour, replPos{gen: p.gen, off: size}, p.genRecords, nil
+}
+
+// recordsInGen returns the record count of the current journal
+// incarnation.
+func (p *persister) recordsInGen() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.genRecords
+}
+
+// appendRaw appends pre-framed replication chunks to the journal and
+// fsyncs — the follower's apply path. Unlike append, it always syncs
+// regardless of noSync: a follower's poll cursor is its replication
+// acknowledgement, and acking state its disk does not hold would let a
+// sync-mode primary acknowledge a write that a double failure then
+// loses. On a partial-write error the journal is truncated back to the
+// pre-call size so a retry of the same chunk cannot duplicate frames;
+// if even that fails the journal is declared broken.
+func (p *persister) appendRaw(data []byte, recs int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return fmt.Errorf("serve: journal closed")
 	}
-	if err := fpPersistWrite.Hit(); err != nil {
+	pre := p.journalBytes.Load()
+	fail := func(err error) error {
 		p.journalErrors.Add(1)
-		return fmt.Errorf("serve: journal write: %w", err)
+		if terr := p.journal.Truncate(pre); terr != nil {
+			return fmt.Errorf("serve: replication apply: %w (and truncating back failed: %v; journal needs a reset transfer)", err, terr)
+		}
+		return fmt.Errorf("serve: replication apply: %w", err)
+	}
+	if err := fpPersistWrite.Hit(); err != nil {
+		return fail(err)
 	}
 	if _, err := p.journal.Write(data); err != nil {
-		p.journalErrors.Add(1)
-		return fmt.Errorf("serve: journal write: %w", err)
+		return fail(err)
 	}
-	if !p.noSync {
-		if err := p.fsyncJournalLocked(); err != nil {
-			p.journalErrors.Add(1)
-			return err
-		}
+	if err := p.fsyncJournalLocked(); err != nil {
+		return fail(err)
 	}
-	p.journalBytes.Add(int64(len(data)))
-	p.journalRecords.Add(1)
+	p.journalBytes.Store(pre + int64(len(data)))
+	p.journalRecords.Add(uint64(recs))
+	p.genRecords += int64(recs)
+	p.notifyLocked()
 	return nil
+}
+
+// resetTo replaces the follower's on-disk state with a transferred
+// snapshot + journal, with the same crash ordering as writeSnapshot:
+// temp snapshot, fsync, rename, dir fsync, then the journal rewrite.
+// A crash between rename and journal rewrite replays the new snapshot
+// plus the old journal — whose stale lower-Seq records lose at replay,
+// exactly the writeSnapshot argument.
+func (p *persister) resetTo(snap, jour []byte, recs int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	tmpPath := filepath.Join(p.dir, snapshotFile+".tmp")
+	werr := func(err error) error {
+		p.journalErrors.Add(1)
+		return fmt.Errorf("serve: reset transfer: %w", err)
+	}
+	if err := fpPersistWrite.Hit(); err != nil {
+		return werr(err)
+	}
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return werr(err)
+	}
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write(snap); err != nil {
+		tmp.Close()
+		return werr(err)
+	}
+	if err := fpPersistFsync.Hit(); err != nil {
+		tmp.Close()
+		return werr(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return werr(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return werr(err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(p.dir, snapshotFile)); err != nil {
+		return werr(err)
+	}
+	if err := p.fsyncDir(); err != nil {
+		p.journalErrors.Add(1)
+		return err
+	}
+	if err := p.journal.Truncate(0); err != nil {
+		return werr(err)
+	}
+	if _, err := p.journal.Seek(0, io.SeekStart); err != nil {
+		return werr(err)
+	}
+	if _, err := p.journal.Write(jour); err != nil {
+		return werr(err)
+	}
+	if err := p.fsyncJournalLocked(); err != nil {
+		p.journalErrors.Add(1)
+		return err
+	}
+	p.journalBytes.Store(int64(len(jour)))
+	p.genRecords = recs
+	p.resetGenLocked()
+	p.notifyLocked()
+	return nil
+}
+
+// resetGenLocked advances the journal incarnation; the caller holds
+// p.mu and has just reset the journal.
+func (p *persister) resetGenLocked() {
+	now := uint64(time.Now().UnixNano())
+	if now > p.gen {
+		p.gen = now
+	} else {
+		p.gen++
+	}
 }
 
 func (p *persister) fsyncJournalLocked() error {
@@ -395,7 +705,15 @@ func (p *persister) writeSnapshotLocked(recs []*scenario.SnapshotRecord) error {
 		return fmt.Errorf("serve: journal reset: %w", err)
 	}
 	p.journalBytes.Store(0)
+	p.genRecords = 0
+	// The journal reset starts a new incarnation: replication cursors
+	// into the old journal are invalid (the bytes are gone), and the gen
+	// bump is what tells a polling follower to take a reset transfer. It
+	// also satisfies sync-ack waiters parked on old-gen positions — the
+	// snapshot the new gen starts from compacts everything they awaited.
+	p.resetGenLocked()
 	p.snapshots.Add(1)
+	p.notifyLocked()
 	return nil
 }
 
@@ -429,4 +747,10 @@ func (p *persister) close() {
 		_ = p.journal.Sync()
 	}
 	_ = p.journal.Close()
+	if p.jread != nil {
+		_ = p.jread.Close()
+	}
+	// Wake replication long-polls and sync-ack waiters; they re-check
+	// and see closed.
+	p.notifyLocked()
 }

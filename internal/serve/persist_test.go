@@ -45,7 +45,7 @@ func TestPersisterRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	wireA, wireB := testNetwork(rng, 2), testNetwork(rng, 3)
 
-	p, state, err := openPersister(dir, 0, false)
+	p, state, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,13 +58,13 @@ func TestPersisterRoundTrip(t *testing.T) {
 		stateRecord(t, 3, "a", wireB), // supersedes seq 1
 		dropRecord(4, "b"),
 	} {
-		if err := p.append(rec); err != nil {
+		if _, err := p.append(rec); err != nil {
 			t.Fatalf("append: %v", err)
 		}
 	}
 	p.close()
 
-	p2, state, err := openPersister(dir, 0, false)
+	p2, state, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -88,11 +88,11 @@ func TestPersisterTornSuffixTruncates(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	wire := testNetwork(rng, 2)
 
-	p, _, err := openPersister(dir, 0, false)
+	p, _, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.append(stateRecord(t, 1, "a", wire)); err != nil {
+	if _, err := p.append(stateRecord(t, 1, "a", wire)); err != nil {
 		t.Fatal(err)
 	}
 	p.close()
@@ -113,7 +113,7 @@ func TestPersisterTornSuffixTruncates(t *testing.T) {
 		}
 		jf.Close()
 
-		p, state, err := openPersister(dir, 0, false)
+		p, state, _, err := openPersister(dir, 0, false)
 		if err != nil {
 			t.Fatalf("tear %d: boot failed: %v", i, err)
 		}
@@ -124,7 +124,7 @@ func TestPersisterTornSuffixTruncates(t *testing.T) {
 			t.Errorf("tear %d: truncated %d bytes, want %d", i, p.truncatedBytes.Load(), len(tear))
 		}
 		// The journal stays usable: append a fresh record on top.
-		if err := p.append(stateRecord(t, uint64(10+i), "a", wire)); err != nil {
+		if _, err := p.append(stateRecord(t, uint64(10+i), "a", wire)); err != nil {
 			t.Fatalf("tear %d: append after truncation: %v", i, err)
 		}
 		p.close()
@@ -139,12 +139,12 @@ func TestPersisterSnapshotCompacts(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	wireA, wireB := testNetwork(rng, 2), testNetwork(rng, 3)
 
-	p, _, err := openPersister(dir, 0, false)
+	p, _, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 4; i++ {
-		if err := p.append(stateRecord(t, i, "a", wireA)); err != nil {
+		if _, err := p.append(stateRecord(t, i, "a", wireA)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,12 +158,12 @@ func TestPersisterSnapshotCompacts(t *testing.T) {
 		t.Errorf("snapshots = %d, want 1", p.snapshots.Load())
 	}
 	// Post-snapshot journal record must win over the snapshot at replay.
-	if err := p.append(stateRecord(t, 5, "a", wireB)); err != nil {
+	if _, err := p.append(stateRecord(t, 5, "a", wireB)); err != nil {
 		t.Fatal(err)
 	}
 	p.close()
 
-	p2, state, err := openPersister(dir, 0, false)
+	p2, state, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -180,18 +180,18 @@ func TestPersisterFutureVersionRefusesBoot(t *testing.T) {
 	dir := t.TempDir()
 	rng := rand.New(rand.NewPCG(4, 4))
 
-	p, _, err := openPersister(dir, 0, false)
+	p, _, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	future := stateRecord(t, 1, "a", testNetwork(rng, 2))
 	future.Version = scenario.SnapshotVersion + 1
-	if err := p.append(future); err != nil {
+	if _, err := p.append(future); err != nil {
 		t.Fatal(err)
 	}
 	p.close()
 
-	_, _, err = openPersister(dir, 0, false)
+	_, _, _, err = openPersister(dir, 0, false)
 	if err == nil {
 		t.Fatal("future-version journal record booted")
 	}
@@ -208,7 +208,7 @@ func TestPersisterCorruptSnapshotRefusesBoot(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := openPersister(dir, 0, false)
+	_, _, _, err := openPersister(dir, 0, false)
 	if err == nil {
 		t.Fatal("corrupt snapshot booted")
 	}
@@ -226,24 +226,24 @@ func TestPersisterFaultPoints(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 5))
 	wire := testNetwork(rng, 2)
 
-	p, _, err := openPersister(dir, 0, false)
+	p, _, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.append(stateRecord(t, 1, "a", wire)); err != nil {
+	if _, err := p.append(stateRecord(t, 1, "a", wire)); err != nil {
 		t.Fatal(err)
 	}
 
 	fault.Activate(&fault.Plan{Seed: 11, Points: map[string][]fault.Spec{
 		"persist.write": {{Kind: fault.Error, Prob: 1}},
 	}})
-	if err := p.append(stateRecord(t, 2, "a", wire)); err == nil {
+	if _, err := p.append(stateRecord(t, 2, "a", wire)); err == nil {
 		t.Error("append succeeded through a write fault")
 	}
 	fault.Activate(&fault.Plan{Seed: 12, Points: map[string][]fault.Spec{
 		"persist.fsync": {{Kind: fault.Error, Prob: 1}},
 	}})
-	if err := p.append(stateRecord(t, 3, "a", wire)); err == nil {
+	if _, err := p.append(stateRecord(t, 3, "a", wire)); err == nil {
 		t.Error("append succeeded through a fsync fault")
 	}
 	fault.Deactivate()
@@ -256,7 +256,7 @@ func TestPersisterFaultPoints(t *testing.T) {
 		"persist.replay": {{Kind: fault.Error, Prob: 1}},
 	}})
 	defer fault.Deactivate()
-	p2, state, err := openPersister(dir, 0, false)
+	p2, state, _, err := openPersister(dir, 0, false)
 	if err != nil {
 		t.Fatalf("replay fault must degrade to truncation, not fail boot: %v", err)
 	}

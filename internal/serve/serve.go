@@ -89,6 +89,31 @@ type Config struct {
 	// trading the crash-durability guarantee (acknowledged implies
 	// journaled) for append throughput. Snapshots still fsync.
 	JournalNoSync bool
+	// ReplAck selects the replication acknowledgement mode: "async"
+	// (default — a 2xx means journaled locally; followers catch up via
+	// the stream) or "sync" (a 2xx additionally means at least one
+	// follower has the record durably — "acknowledged means
+	// replicated"). Sync mode with zero connected followers fails
+	// writes after ReplAckTimeout by design: the operator asked for
+	// replicated durability, so unreplicated writes must not be
+	// acknowledged. Requires StateDir.
+	ReplAck string
+	// ReplAckTimeout bounds how long a sync-mode write waits for a
+	// follower acknowledgement before failing the request (the record
+	// IS locally durable at that point; the 500 reports only that
+	// replication is unconfirmed). Zero means 5s.
+	ReplAckTimeout time.Duration
+	// ReplLagWarn is the replication lag, in journal bytes, past which
+	// /healthz reports degraded. Zero means SnapshotBytes (one full
+	// compaction interval behind); negative disables lag health checks.
+	ReplLagWarn int64
+	// Promote boots this server as the new primary after a failover:
+	// the fencing epoch becomes one past the highest epoch in the
+	// replayed state, and the bump is made durable immediately (a full
+	// compacting snapshot at the new epoch) so a crash cannot un-bump
+	// it. A rejoining stale primary's stream is then rejected by every
+	// replica that saw the new epoch. Requires StateDir.
+	Promote bool
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +137,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.ReplAck == "" {
+		c.ReplAck = ReplAckAsync
+	}
+	if c.ReplAckTimeout == 0 {
+		c.ReplAckTimeout = 5 * time.Second
+	}
+	if c.ReplLagWarn == 0 {
+		c.ReplLagWarn = c.SnapshotBytes
+		if c.ReplLagWarn == 0 {
+			c.ReplLagWarn = defaultSnapshotBytes
+		}
 	}
 	return c
 }
@@ -281,6 +318,16 @@ type Server struct {
 	stateSeq atomic.Uint64
 	restored int
 
+	// epoch is this primary's fencing term (see scenario.SnapshotRecord
+	// .Epoch): the highest epoch replayed from the state dir, plus one
+	// when Config.Promote booted this server as a failover's winner.
+	// Immutable after New — promotion always boots a new Server — so
+	// reads need no lock.
+	epoch uint64
+	// repl tracks replication followers and sync-mode acknowledgement
+	// waiters (nil without persistence).
+	repl *replState
+
 	// panicLog rate-limits panic stacks to one full log line per server;
 	// every later panic only bumps the shard's panics counter.
 	panicLog sync.Once
@@ -321,13 +368,24 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards[i] = sh
 	}
+	if cfg.ReplAck != ReplAckAsync && cfg.ReplAck != ReplAckSync {
+		return nil, fmt.Errorf("serve: unknown replication ack mode %q (want %q or %q)", cfg.ReplAck, ReplAckAsync, ReplAckSync)
+	}
+	if cfg.StateDir == "" && (cfg.ReplAck == ReplAckSync || cfg.Promote) {
+		return nil, fmt.Errorf("serve: replication requires a state dir")
+	}
 	if cfg.StateDir != "" {
-		p, state, err := openPersister(cfg.StateDir, cfg.SnapshotBytes, cfg.JournalNoSync)
+		p, state, _, err := openPersister(cfg.StateDir, cfg.SnapshotBytes, cfg.JournalNoSync)
 		if err != nil {
 			return nil, err
 		}
 		s.persist = p
 		s.stateSeq.Store(p.maxSeq.Load())
+		s.epoch = p.maxEpoch.Load()
+		if cfg.Promote {
+			s.epoch++
+		}
+		s.repl = newReplState(s)
 		for _, st := range state {
 			if err := s.restoreSession(st); err != nil {
 				// A record that validated at replay but cannot rebuild its
@@ -344,8 +402,29 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.runShard(sh)
 	}
+	if cfg.Promote {
+		// Make the epoch bump durable before the first request: the
+		// snapshot rewrites every session record at the new epoch, so a
+		// crash right after promotion still reboots fenced. Failing the
+		// promotion is better than serving with an epoch a crash forgets.
+		if err := fpReplPromote.Hit(); err != nil {
+			s.crash()
+			return nil, fmt.Errorf("serve: promotion: %w", err)
+		}
+		if err := s.snapshotNow(); err != nil {
+			s.crash()
+			return nil, fmt.Errorf("serve: promotion epoch snapshot: %w", err)
+		}
+	}
 	return s, nil
 }
+
+// Epoch returns the server's fencing epoch (0 without persistence or
+// before any promotion).
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Restored returns how many sessions were rebuilt from the state dir.
+func (s *Server) Restored() int { return s.restored }
 
 // restoreSession re-registers one session from its durable record. The
 // registration is cheap — no solver work happens until the session's
@@ -434,6 +513,7 @@ func (s *Server) captureLocked(se *session) *scenario.SnapshotRecord {
 	return &scenario.SnapshotRecord{
 		Version: scenario.SnapshotVersion,
 		Seq:     s.stateSeq.Add(1),
+		Epoch:   s.epoch,
 		Kind:    scenario.RecordSession,
 		Session: st,
 	}
@@ -575,6 +655,7 @@ func (s *Server) DropSession(id string) error {
 			se.dropRec = &scenario.SnapshotRecord{
 				Version:   scenario.SnapshotVersion,
 				Seq:       s.stateSeq.Add(1),
+				Epoch:     s.epoch,
 				Kind:      scenario.RecordDrop,
 				SessionID: id,
 			}
@@ -584,7 +665,7 @@ func (s *Server) DropSession(id string) error {
 	se.mu.Unlock()
 	se.sh.pool.DropSession(id)
 	if rec != nil {
-		if err := s.persist.append(rec); err != nil {
+		if err := s.appendDurable(rec); err != nil {
 			se.sh.brk.onFault()
 			return fmt.Errorf("serve: session drop not durable: %w", err)
 		}
@@ -704,6 +785,19 @@ func (s *Server) Close() {
 	}
 }
 
+// QuiesceReplication wakes parked replication long-polls and pending
+// sync-ack waits without stopping the server: parked GET /v1/replicate
+// polls answer 204 and sync-mode writes stop waiting for follower acks
+// (their records are already locally durable). cmd/dmcd calls it as the
+// first step of graceful shutdown, before draining its http.Server —
+// otherwise a standby parked in a long poll stalls the HTTP drain for
+// the poll's full wait.
+func (s *Server) QuiesceReplication() {
+	if s.repl != nil {
+		s.repl.shutdown()
+	}
+}
+
 // crash is the hard-stop half of Close that durability tests use to
 // simulate kill -9: workers still stop and drain (the goroutine-leak
 // detector must stay clean), but no final snapshot runs and nothing is
@@ -731,6 +825,14 @@ func (s *Server) stop() bool {
 	// and no caller is ever left waiting on an unexecuted one.
 	s.admitMu.Lock()
 	s.admitMu.Unlock()
+	// Release sync-mode acknowledgement waiters before draining: a
+	// drained task parked on a follower ack that will never come (the
+	// follower may be what we are shutting down for) must fail fast, not
+	// serve out its full ack timeout. Its record is already durable
+	// locally either way.
+	if s.repl != nil {
+		s.repl.shutdown()
+	}
 	for _, sh := range s.shards {
 		close(sh.stop)
 	}
@@ -887,7 +989,7 @@ func (s *Server) exec(sh *shard, t *task) {
 		// cannot be journaled fails — answering 200 and then forgetting
 		// the session on the next crash would be a silent lie. The error
 		// counts against the shard breaker like any other server fault.
-		if err := s.persist.append(rec); err != nil {
+		if err := s.appendDurable(rec); err != nil {
 			r = taskResult{err: fmt.Errorf("serve: session state not durable: %w", err)}
 		} else if s.persist.shouldSnapshot() {
 			s.compact()
